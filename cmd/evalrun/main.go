@@ -1,0 +1,94 @@
+// Command evalrun regenerates the paper's evaluation: Table 1 (the
+// difficulty matrix) and Table 2 (the 200-run performance table), plus the
+// §4.5 analytical-variability study.
+//
+// Usage:
+//
+//	evalrun [-ensemble DIR] [-reps N] [-seed S] [-matrix] [-variability]
+//	        [-trim] [-feedback] [-binary-qa]
+//
+// Without -ensemble, a synthetic 4-run ensemble is generated in a temp
+// directory first (mirroring the paper's 4-run LANL dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"infera/internal/eval"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		ensembleDir = flag.String("ensemble", "", "generated ensemble directory (empty: generate a fresh one)")
+		reps        = flag.Int("reps", 10, "runs per question")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		matrix      = flag.Bool("matrix", false, "print the Table 1 difficulty matrix and exit")
+		variability = flag.Bool("variability", false, "run the §4.5 analytical-variability study and exit")
+		trim        = flag.Bool("trim", false, "trim supervisor history (token optimization)")
+		feedback    = flag.Bool("feedback", false, "enable the scripted human-in-the-loop hinter")
+		binaryQA    = flag.Bool("binary-qa", false, "use binary QA verdicts (§4.2.4 ablation)")
+		verbose     = flag.Bool("v", false, "log each run")
+		workers     = flag.Int("workers", 1, "concurrent runs (parallelized workflow execution)")
+		halos       = flag.Int("halos", 120, "halos per run when generating an ensemble")
+	)
+	flag.Parse()
+
+	if *matrix {
+		fmt.Print(eval.FormatTable1(eval.Bank()))
+		return
+	}
+
+	dir := *ensembleDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "infera-ensemble-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		spec := hacc.DefaultSpec()
+		spec.HalosPerRun = *halos
+		log.Printf("generating synthetic ensemble (%d runs x %d steps, %d halos/run) in %s ...",
+			spec.Runs, len(spec.Steps), spec.HalosPerRun, tmp)
+		if _, err := hacc.Generate(tmp, spec); err != nil {
+			log.Fatal(err)
+		}
+		dir = tmp
+	}
+
+	if *variability {
+		runVariability(dir, *seed, *reps)
+		return
+	}
+
+	cfg := eval.Config{
+		EnsembleDir: dir,
+		Reps:        *reps,
+		Seed:        *seed,
+		TrimHistory: *trim,
+		Feedback:    *feedback,
+		Workers:     *workers,
+		Sim:         llm.SimConfig{BinaryQA: *binaryQA},
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	rep, err := eval.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Format())
+}
+
+func runVariability(dir string, seed int64, reps int) {
+	res, err := eval.Variability(dir, seed, reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+}

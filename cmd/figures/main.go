@@ -1,0 +1,206 @@
+// Command figures regenerates the paper's figures as files on disk:
+//
+//	-fig1  an ensemble snapshot render (halos + particles scene, Fig. 1/2)
+//	-fig4  the 32-simulation scaling case study: halo count and halo mass
+//	       of the largest halo over all timesteps, one series per run,
+//	       plus the storage-overhead accounting of §4.3
+//	-fig5  the ParaView scene of a target halo and all halos within
+//	       20 Mpc, target highlighted
+//
+// Usage:
+//
+//	figures -out DIR [-fig1] [-fig4] [-fig5] [-runs 32] [-halos 120] [-seed 1]
+//
+// Without explicit figure flags, all figures are generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"infera/internal/core"
+	"infera/internal/gio"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/tools"
+	"infera/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out   = flag.String("out", "figures-out", "output directory")
+		fig1  = flag.Bool("fig1", false, "generate the ensemble render")
+		fig4  = flag.Bool("fig4", false, "generate the 32-simulation scaling study")
+		fig5  = flag.Bool("fig5", false, "generate the ParaView neighbourhood scene")
+		runs  = flag.Int("runs", 32, "simulation runs for the scaling study")
+		halos = flag.Int("halos", 120, "halos per run")
+		seed  = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+	all := !*fig1 && !*fig4 && !*fig5
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	if *fig1 || all {
+		if err := genFig1(*out, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *fig4 || all {
+		if err := genFig4(*out, *runs, *halos, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *fig5 || all {
+		if err := genFig5(*out, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// genFig1 renders one simulation snapshot: all particles plus halo centers
+// as a 3-D scene and a mass-function histogram (the flavor of Figs. 1-2).
+func genFig1(out string, seed int64) error {
+	dir, err := os.MkdirTemp("", "infera-fig1-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	spec := hacc.Spec{Runs: 1, Steps: []int{624}, HalosPerRun: 300, ParticlesPerStep: 5000, BoxSize: 256, Seed: seed}
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		return err
+	}
+	entry, _ := cat.Find(0, 624, hacc.FileParticles)
+	r, err := gio.Open(cat.AbsPath(entry))
+	if err != nil {
+		return err
+	}
+	parts, err := r.ReadColumns("x", "y", "z", "phi")
+	r.Close()
+	if err != nil {
+		return err
+	}
+	pts := make([]viz.Point3, parts.NumRows())
+	for i := range pts {
+		pts[i] = viz.Point3{
+			X:      parts.MustColumn("x").F[i],
+			Y:      parts.MustColumn("y").F[i],
+			Z:      parts.MustColumn("z").F[i],
+			Scalar: -parts.MustColumn("phi").F[i],
+		}
+	}
+	path := filepath.Join(out, "fig1_particles.vtk")
+	if err := os.WriteFile(path, viz.WriteVTK("HACC-style particle snapshot", pts), 0o644); err != nil {
+		return err
+	}
+	log.Printf("fig1: %s (%d particles)", path, len(pts))
+	return nil
+}
+
+// genFig4 runs the §4.3 case study end to end: one query over a large
+// ensemble asking for the halo count and halo mass of the largest halo over
+// all timesteps in all simulations, reporting storage overhead and tokens.
+func genFig4(out string, runs, halosPerRun int, seed int64) error {
+	dir, err := os.MkdirTemp("", "infera-fig4-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	spec := hacc.Spec{
+		Runs:             runs,
+		Steps:            hacc.StepRange(99, hacc.FinalStep, 75),
+		HalosPerRun:      halosPerRun,
+		ParticlesPerStep: 200,
+		BoxSize:          256,
+		Seed:             seed,
+	}
+	log.Printf("fig4: generating %d-run ensemble ...", runs)
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("fig4: source ensemble %.1f MB", float64(cat.TotalBytes())/1e6)
+
+	workDir, err := os.MkdirTemp("", "infera-fig4-work-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+	assistant, err := core.New(core.Config{
+		EnsembleDir: dir,
+		WorkDir:     workDir,
+		Model:       llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9}),
+	})
+	if err != nil {
+		return err
+	}
+	defer assistant.Close()
+	ans, err := assistant.Ask("Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.")
+	if err != nil {
+		return err
+	}
+	sess, err := assistant.Store().OpenSession(ans.SessionID)
+	if err != nil {
+		return err
+	}
+	for _, e := range ans.Artifacts {
+		if e.Kind != "plot" {
+			continue
+		}
+		data, err := sess.Read(e)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, "fig4_"+e.Name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		log.Printf("fig4: %s", path)
+	}
+	fmt.Printf("fig4 case study: %d simulations, source %.1f MB, staging DB %.2f MB, provenance %.2f MB (%.4f%% overhead), %d tokens, %s\n",
+		runs, float64(ans.SourceBytes)/1e6, float64(ans.DBBytes)/1e6, float64(ans.ProvenanceBytes)/1e6,
+		100*ans.StorageOverheadFraction(), ans.State.Usage.Total(), ans.Duration.Round(1e6))
+	return nil
+}
+
+// genFig5 builds the target-halo neighbourhood scene: all halos within
+// 20 Mpc of the largest halo, the target highlighted (colored red in
+// ParaView via the highlight array).
+func genFig5(out string, seed int64) error {
+	dir, err := os.MkdirTemp("", "infera-fig5-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	spec := hacc.Spec{Runs: 1, Steps: []int{624}, HalosPerRun: 400, ParticlesPerStep: 100, BoxSize: 128, Seed: seed}
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		return err
+	}
+	tag, err := tools.NthMostMassiveTag(cat, 0, 624, 0)
+	if err != nil {
+		return err
+	}
+	nb, err := tools.Neighborhood(cat, 0, 624, tag, 20)
+	if err != nil {
+		return err
+	}
+	pts, err := tools.SceneFromFrame(nb,
+		"fof_halo_center_x", "fof_halo_center_y", "fof_halo_center_z",
+		"fof_halo_mass", "is_target")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(out, "fig5_neighborhood.vtk")
+	if err := os.WriteFile(path, viz.WriteVTK("target halo and neighbours within 20 Mpc", pts), 0o644); err != nil {
+		return err
+	}
+	log.Printf("fig5: %s (%d halos, target %d highlighted)", path, nb.NumRows(), tag)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command infera is the interactive assistant: it loads an ensemble,
+// accepts natural-language questions on stdin, presents the analysis plan
+// for approval (the paper's planning stage), executes the approved plan
+// through the multi-agent workflow, and reports results with full
+// provenance locations.
+//
+// Usage:
+//
+//	infera -ensemble DIR [-work DIR] [-seed 1] [-auto] [-server]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"infera/internal/agent"
+	"infera/internal/core"
+	"infera/internal/llm"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		ensemble = flag.String("ensemble", "", "ensemble directory (required; see haccgen)")
+		work     = flag.String("work", "", "working directory for staging DBs and provenance (default: temp)")
+		seed     = flag.Int64("seed", 1, "model seed")
+		auto     = flag.Bool("auto", false, "skip plan approval (automated mode)")
+		server   = flag.Bool("server", true, "execute sandbox code over a loopback HTTP server")
+	)
+	flag.Parse()
+	if *ensemble == "" {
+		log.Fatal("infera: -ensemble is required (generate one with haccgen)")
+	}
+
+	cfg := core.Config{
+		EnsembleDir: *ensemble,
+		WorkDir:     *work,
+		Seed:        *seed,
+		UseServer:   *server,
+		Logf:        log.Printf,
+	}
+	stdin := bufio.NewReader(os.Stdin)
+	if !*auto {
+		cfg.Feedback = &consoleFeedback{in: stdin}
+	}
+	assistant, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer assistant.Close()
+
+	fmt.Println("InferA — smart assistant for cosmological ensemble data")
+	fmt.Print(assistant.Catalog().Describe())
+	fmt.Println(`Type a question (or "quit"):`)
+
+	for {
+		fmt.Print("\n> ")
+		line, err := stdin.ReadString('\n')
+		if err != nil {
+			return
+		}
+		question := strings.TrimSpace(line)
+		switch question {
+		case "":
+			continue
+		case "quit", "exit":
+			return
+		}
+		ans, askErr := assistant.Ask(question)
+		if ans == nil {
+			log.Printf("error: %v", askErr)
+			continue
+		}
+		if askErr != nil {
+			log.Printf("run failed: %v (completed %.0f%% of the plan)", askErr, 100*ans.TaskCompleteness())
+		}
+		if ans.Answer != nil {
+			fmt.Println("\nResult:")
+			fmt.Print(ans.Answer.String())
+		}
+		fmt.Printf("\nsession %s | %d tokens | %d redo iterations | storage %.2f MB (%.4f%% of source) | %s\n",
+			ans.SessionID, ans.State.Usage.Total(), ans.State.RedoCount,
+			float64(ans.DBBytes+ans.ProvenanceBytes)/1e6,
+			100*ans.StorageOverheadFraction(), ans.Duration.Round(1e6))
+		for _, e := range ans.Artifacts {
+			if e.Kind == "plot" || e.Kind == "scene" {
+				fmt.Printf("  artifact: %s (%s)\n", e.File, e.Kind)
+			}
+		}
+	}
+}
+
+// consoleFeedback implements the human-in-the-loop hooks on the terminal.
+type consoleFeedback struct {
+	in *bufio.Reader
+}
+
+var _ agent.Feedback = (*consoleFeedback)(nil)
+
+func (c *consoleFeedback) ReviewPlan(plan llm.Plan) (bool, string) {
+	fmt.Println("\nProposed plan:")
+	fmt.Print(plan.String())
+	fmt.Print("Approve? [Y/n or type feedback]: ")
+	line, err := c.in.ReadString('\n')
+	if err != nil {
+		return true, ""
+	}
+	line = strings.TrimSpace(line)
+	switch strings.ToLower(line) {
+	case "", "y", "yes":
+		return true, ""
+	case "n", "no":
+		return false, "please revise the plan"
+	default:
+		return false, line
+	}
+}
+
+func (c *consoleFeedback) OnError(step llm.PlanStep, errMsg string) (string, bool) {
+	// Offer the dictionary correction automatically, as a human expert
+	// would (§4.2.2), but show the error first.
+	fmt.Printf("\n[%s] step error: %s\n", step.Agent, errMsg)
+	if col, ok := agent.CorrectColumnFor(errMsg); ok {
+		fmt.Printf("suggesting correction: use column %s\n", col)
+		return "use column " + col, true
+	}
+	return "", false
+}

@@ -1,0 +1,53 @@
+// Quickstart: generate a small synthetic HACC-style ensemble, start the
+// assistant, and ask one natural-language question.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"infera/internal/core"
+	"infera/internal/hacc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small ensemble: 4 runs with varied sub-grid physics
+	// parameters, 8 snapshots each.
+	dir, err := os.MkdirTemp("", "infera-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cat, err := hacc.Generate(dir, hacc.DefaultSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cat.Describe())
+
+	// 2. Start the assistant (fully automated: no plan-approval prompts).
+	assistant, err := core.New(core.Config{EnsembleDir: dir, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer assistant.Close()
+
+	// 3. Ask a question. The multi-agent workflow plans, loads only the
+	// needed columns, filters via SQL, analyzes in the sandbox, and records
+	// full provenance.
+	ans, err := assistant.Ask("Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?")
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+
+	fmt.Println("\nAnswer:")
+	fmt.Print(ans.Answer.String())
+	fmt.Printf("\nplan steps: %d | tokens: %d | storage overhead: %.2f MB (%.4f%% of source)\n",
+		len(ans.State.Plan.Steps), ans.State.Usage.Total(),
+		float64(ans.DBBytes+ans.ProvenanceBytes)/1e6, 100*ans.StorageOverheadFraction())
+	fmt.Printf("provenance session: %s (%d artifacts)\n", ans.SessionID, len(ans.Artifacts))
+}

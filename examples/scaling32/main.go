@@ -1,0 +1,76 @@
+// Scaling32: the Fig. 4 / §4.3 case study. A 32-simulation ensemble is
+// queried for the halo count and halo mass of the largest halo over all
+// timesteps; the workflow completes in five analysis steps and the staging
+// footprint stays a tiny fraction of the source ensemble — the property
+// that let the paper process 11.2 TB with an 18 GB database.
+//
+//	go run ./examples/scaling32
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"infera/internal/core"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+)
+
+const question = "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass."
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "infera-scaling32-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec := hacc.Spec{
+		Runs:             32,
+		Steps:            hacc.StepRange(99, hacc.FinalStep, 53), // 11 snapshots
+		HalosPerRun:      400,
+		ParticlesPerStep: 12000, // particle bulk the loader must *skip*
+		BoxSize:          256,
+		Seed:             9,
+	}
+	log.Printf("generating 32-run ensemble ...")
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("source ensemble: %.1f MB in %d files", float64(cat.TotalBytes())/1e6, len(cat.Files))
+
+	assistant, err := core.New(core.Config{
+		EnsembleDir: dir,
+		Model:       llm.NewSim(llm.SimConfig{Seed: 5, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer assistant.Close()
+
+	ans, err := assistant.Ask(question)
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+
+	fmt.Printf("\nworkflow: %d analysis steps, completed without failure\n", len(ans.State.Plan.Steps))
+	fmt.Println("\nlargest-halo metrics per simulation per timestep (head):")
+	fmt.Print(ans.Answer.Head(8).String())
+
+	fmt.Printf("\nsource ensemble:   %10.2f MB (32 simulations)\n", float64(ans.SourceBytes)/1e6)
+	fmt.Printf("staging database:  %10.2f MB\n", float64(ans.DBBytes)/1e6)
+	fmt.Printf("provenance trail:  %10.2f MB\n", float64(ans.ProvenanceBytes)/1e6)
+	fmt.Printf("storage overhead:  %10.4f %% of source\n", 100*ans.StorageOverheadFraction())
+	fmt.Printf("tokens used:       %10d\n", ans.State.Usage.Total())
+	fmt.Printf("runtime:           %10s\n", ans.Duration.Round(1e6))
+	plots := 0
+	for _, e := range ans.Artifacts {
+		if e.Kind == "plot" {
+			plots++
+		}
+	}
+	fmt.Printf("plots produced:    %10d (halo count + halo mass per simulation)\n", plots)
+}

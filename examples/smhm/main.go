@@ -1,0 +1,71 @@
+// SMHM: the Table 1 hard-analysis / hard-semantic question, end to end.
+// The assistant joins galaxies to halos, fits the stellar-to-halo mass
+// relation per seed mass, ranks by intrinsic scatter, and plots both the
+// relation and scatter-vs-seed-mass. The synthetic physics builds in a
+// threshold seed mass (~10^5.5 Msun/h) above which assembly efficiency
+// saturates and an optimal seed mass (~10^5.75) minimizing scatter, so the
+// answer is verifiable.
+//
+//	go run ./examples/smhm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"infera/internal/core"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+)
+
+const question = "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?"
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "infera-smhm-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// 8 runs spread the seed-mass axis well.
+	spec := hacc.Spec{
+		Runs:             8,
+		Steps:            []int{350, 624},
+		HalosPerRun:      250,
+		ParticlesPerStep: 100,
+		BoxSize:          256,
+		Seed:             7,
+	}
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ensemble seed masses:")
+	for _, r := range cat.Runs {
+		fmt.Printf("  sim %d: Mseed = %.3g (log10 = %.2f)\n", r.Index, r.Params.MSeed, math.Log10(r.Params.MSeed))
+	}
+
+	assistant, err := core.New(core.Config{
+		EnsembleDir: dir,
+		Model:       llm.NewSim(llm.SimConfig{Seed: 3, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer assistant.Close()
+
+	ans, err := assistant.Ask(question)
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+	fmt.Println("\nSMHM fits per seed mass (sorted by intrinsic scatter, tightest first):")
+	fmt.Print(ans.Answer.String())
+
+	tightest := ans.Answer.MustColumn("m_seed").FloatAt(0)
+	fmt.Printf("\ntightest SMHM correlation at Mseed = %.3g (log10 = %.2f)\n", tightest, math.Log10(tightest))
+	fmt.Printf("(model ground truth: scatter minimized near log10 Mseed = 5.75, efficiency saturates above 5.5)\n")
+	fmt.Printf("\ntokens: %d | plan steps: %d | artifacts: %d\n",
+		ans.State.Usage.Total(), len(ans.State.Plan.Steps), len(ans.Artifacts))
+}

@@ -1,0 +1,667 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"infera/internal/dataframe"
+	"infera/internal/gio"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/sqldb"
+)
+
+// Node names.
+const (
+	nodePlanner    = "planner"
+	nodeSupervisor = "supervisor"
+	nodeData       = "dataloader"
+	nodeSQL        = "sql"
+	nodePython     = "python"
+	nodeViz        = "viz"
+	nodeDoc        = "documentation"
+)
+
+// Run executes the full two-stage workflow for a question.
+func Run(rt *Runtime, question string) (*Result, error) {
+	rt = rt.withDefaults()
+	st := &State{Question: question, Staged: map[string][]string{}, Strategy: -1}
+	g := NewGraph(nodePlanner)
+	g.AddNode(nodePlanner, plannerNode)
+	g.AddNode(nodeSupervisor, supervisorNode)
+	g.AddNode(nodeData, dataLoaderNode)
+	g.AddNode(nodeSQL, sqlNode)
+	g.AddNode(nodePython, pythonNode)
+	g.AddNode(nodeViz, vizNode)
+	g.AddNode(nodeDoc, docNode)
+
+	start := time.Now()
+	err := g.Run(rt, st)
+	res := &Result{State: *st, Duration: time.Since(start)}
+	if rt.Session != nil {
+		res.Artifacts = rt.Session.Manifest()
+		for _, e := range res.Artifacts {
+			if e.Kind == "summary" {
+				if data, rerr := rt.Session.Read(e); rerr == nil {
+					res.Summary = string(data)
+				}
+			}
+		}
+	}
+	if f, rerr := rt.DB.ReadTable("analysis"); rerr == nil {
+		res.Answer = f
+	}
+	if err != nil {
+		return res, err
+	}
+	if st.Failed {
+		return res, &ErrFailed{Reason: st.FailReason}
+	}
+	return res, nil
+}
+
+// callModel performs one model invocation, accumulating usage and history.
+func callModel(rt *Runtime, st *State, agentName, skill, system string, payload, out any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.Model.Complete(llm.Request{Agent: agentName, Skill: skill, System: system, Prompt: string(raw)})
+	if err != nil {
+		return err
+	}
+	st.Usage.Add(resp.Usage)
+	st.History = append(st.History, fmt.Sprintf("[%s/%s] %s", agentName, skill, resp.Text))
+	if out != nil {
+		if err := json.Unmarshal([]byte(resp.Text), out); err != nil {
+			return fmt.Errorf("agent: %s %s response: %w", agentName, skill, err)
+		}
+	}
+	return nil
+}
+
+// plannerNode runs the planning stage: generate, present for human
+// feedback, refine, repeat until approval (or immediately in automated
+// mode).
+func plannerNode(rt *Runtime, st *State) (string, error) {
+	var feedback []string
+	for round := 0; ; round++ {
+		req := llm.PlanRequest{Question: st.Question, Feedback: feedback}
+		if rt.Catalog != nil {
+			req.Context = rt.Catalog.Describe()
+		}
+		var plan llm.Plan
+		if err := callModel(rt, st, "planner", llm.SkillPlan, "You are the planning agent. Decompose the question into executable steps.", req, &plan); err != nil {
+			return "", err
+		}
+		st.Plan = plan
+		st.PlanRounds = round + 1
+		if rt.Feedback == nil {
+			break
+		}
+		approved, comment := rt.Feedback.ReviewPlan(plan)
+		if approved || round+1 >= rt.MaxPlanRounds {
+			break
+		}
+		feedback = append(feedback, comment)
+	}
+	if rt.Session != nil {
+		if _, err := rt.Session.Record("planner", "plan", "plan.txt", []byte(st.Plan.String())); err != nil {
+			return "", err
+		}
+	}
+	rt.logf("plan (%d steps):\n%s", len(st.Plan.Steps), st.Plan)
+	return nodeSupervisor, nil
+}
+
+// supervisorNode asks the model which step runs next, passing either the
+// full message history or only the last message (TrimHistory, §4.1.4).
+func supervisorNode(rt *Runtime, st *State) (string, error) {
+	if st.Failed {
+		return nodeDoc, nil
+	}
+	history := strings.Join(st.History, "\n")
+	if rt.TrimHistory && len(st.History) > 0 {
+		history = st.History[len(st.History)-1]
+	}
+	var route llm.RouteResponse
+	err := callModel(rt, st, "supervisor", llm.SkillRoute,
+		"You are the supervisor agent. Decide the next step of the approved plan.",
+		llm.RouteRequest{Steps: st.Plan.Steps, Completed: st.StepIdx, History: history}, &route)
+	if err != nil {
+		return "", err
+	}
+	if route.Done {
+		return nodeDoc, nil
+	}
+	switch route.Agent {
+	case llm.AgentData:
+		return nodeData, nil
+	case llm.AgentSQL:
+		return nodeSQL, nil
+	case llm.AgentPython:
+		return nodePython, nil
+	case llm.AgentViz:
+		return nodeViz, nil
+	default:
+		return "", fmt.Errorf("agent: supervisor routed to unknown agent %q", route.Agent)
+	}
+}
+
+// stepDone marks the current plan step complete.
+func stepDone(st *State, note string) {
+	st.Completed = append(st.Completed, note)
+	st.StepIdx++
+}
+
+// stepFailed aborts the run at the current step.
+func stepFailed(st *State, reason string) {
+	st.Failed = true
+	st.FailReason = reason
+	st.Failures = append(st.Failures, reason)
+}
+
+// dataLoaderNode resolves which files and columns to load (intent +
+// retrieval), reads only those column blocks from the ensemble, injects
+// sim/step (and per-run parameter) columns, and stages raw tables in the
+// database.
+func dataLoaderNode(rt *Runtime, st *State) (string, error) {
+	in := st.Plan.Intent
+	task := currentTask(st)
+
+	// RAG retrieval provides the metadata context; record it so the
+	// provenance trail shows why these columns were chosen.
+	if rt.Retriever != nil {
+		docs := rt.Retriever.Retrieve(st.Question, task, st.Plan.String())
+		var ids, full strings.Builder
+		for _, d := range docs {
+			ids.WriteString(d.ID + "\n")
+			full.WriteString(d.Text + "\n")
+		}
+		st.RetrievedContext = full.String()
+		if rt.Session != nil {
+			if _, err := rt.Session.Record("dataloader", "retrieval", "retrieved_docs.txt", []byte(ids.String())); err != nil {
+				return "", err
+			}
+		}
+	}
+
+	sims := resolveSims(in, rt.Catalog)
+	steps := resolveSteps(in, rt.Catalog)
+	st.LoadedSims = sims
+	st.LoadedSteps = steps
+
+	var report strings.Builder
+	for _, entity := range in.Entities {
+		if entity != hacc.FileHalos && entity != hacc.FileGalaxies {
+			continue // particles/cores load on demand via tools
+		}
+		needed := llm.NeedColumns(in, entity)
+		fileCols := fileColumns(needed, entity)
+		table := tableNameOf(entity)
+		var total int64
+		for _, sim := range sims {
+			params := rt.Catalog.Runs[sim].Params
+			for _, step := range steps {
+				entry, ok := rt.Catalog.Find(sim, step, entity)
+				if !ok {
+					return "", fmt.Errorf("agent: missing %s file for sim %d step %d", entity, sim, step)
+				}
+				r, err := gio.Open(rt.Catalog.AbsPath(entry))
+				if err != nil {
+					return "", err
+				}
+				f, err := r.ReadColumns(fileCols...)
+				bytesRead := r.BytesRead()
+				r.Close()
+				if err != nil {
+					return "", fmt.Errorf("agent: load %s sim %d step %d: %w", entity, sim, step, err)
+				}
+				total += bytesRead
+				if err := injectContextColumns(f, sim, step, params, needed); err != nil {
+					return "", err
+				}
+				if err := rt.DB.AppendTable(table, f); err != nil {
+					return "", err
+				}
+			}
+		}
+		ti, _ := rt.DB.Table(table)
+		st.Staged[table] = columnNames(ti)
+		fmt.Fprintf(&report, "%s: %d sims x %d steps -> table %q, %d rows, %d bytes read (columns: %v)\n",
+			entity, len(sims), len(steps), table, ti.Rows, total, fileCols)
+	}
+	if rt.Session != nil {
+		if _, err := rt.Session.Record("dataloader", "report", "load_report.txt", []byte(report.String())); err != nil {
+			return "", err
+		}
+	}
+	rt.logf("loaded: %s", strings.TrimSpace(report.String()))
+	stepDone(st, "data loading: "+task)
+	return nodeSupervisor, nil
+}
+
+func currentTask(st *State) string {
+	if st.StepIdx < len(st.Plan.Steps) {
+		return st.Plan.Steps[st.StepIdx].Task
+	}
+	return ""
+}
+
+func currentStep(st *State) llm.PlanStep {
+	if st.StepIdx < len(st.Plan.Steps) {
+		return st.Plan.Steps[st.StepIdx]
+	}
+	return llm.PlanStep{}
+}
+
+func resolveSims(in llm.Intent, cat *hacc.Catalog) []int {
+	if len(in.Sims) > 0 {
+		var out []int
+		for _, s := range in.Sims {
+			if s >= 0 && s < cat.NumRuns() {
+				out = append(out, s)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	out := make([]int, cat.NumRuns())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func resolveSteps(in llm.Intent, cat *hacc.Catalog) []int {
+	available := cat.Steps()
+	if in.AllSteps {
+		return available
+	}
+	if len(in.Steps) > 0 {
+		var out []int
+		for _, want := range in.Steps {
+			out = append(out, nearestStep(available, want))
+		}
+		return dedupInts(out)
+	}
+	return []int{available[len(available)-1]}
+}
+
+func nearestStep(available []int, want int) int {
+	best := available[0]
+	for _, s := range available {
+		if abs(s-want) < abs(best-want) {
+			best = s
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func dedupInts(s []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fileColumns strips the loader-injected names, leaving what must be read
+// from disk.
+func fileColumns(needed []string, entity string) []string {
+	var out []string
+	for _, c := range needed {
+		if c == "sim" || c == "step" {
+			continue
+		}
+		if isParamColumn(c) {
+			continue
+		}
+		if _, ok := hacc.LookupColumn(entity, c); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func isParamColumn(c string) bool {
+	for _, p := range llm.ParamColumns {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// injectContextColumns adds sim, step and (when requested) the run's
+// sub-grid parameters as constant columns.
+func injectContextColumns(f *dataframe.Frame, sim, step int, params hacc.Params, needed []string) error {
+	n := f.NumRows()
+	constInt := func(v int64) []int64 {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	constFloat := func(v float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	if err := f.AddColumn(dataframe.NewInt("sim", constInt(int64(sim)))); err != nil {
+		return err
+	}
+	if err := f.AddColumn(dataframe.NewInt("step", constInt(int64(step)))); err != nil {
+		return err
+	}
+	paramVals := map[string]float64{
+		"m_seed": params.MSeed, "f_sn": params.FSN, "log_v_sn": params.LogVSN,
+		"log_t_agn": params.LogTAGN, "beta_bh": params.BetaBH,
+	}
+	for _, c := range needed {
+		if v, ok := paramVals[c]; ok && isParamColumn(c) {
+			if err := f.AddColumn(dataframe.NewFloat(c, constFloat(v))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func tableNameOf(entity string) string {
+	switch entity {
+	case hacc.FileHalos:
+		return "halos"
+	case hacc.FileGalaxies:
+		return "galaxies"
+	default:
+		return entity
+	}
+}
+
+func columnNames(ti sqldb.TableInfo) []string {
+	out := make([]string, len(ti.Columns))
+	for i, c := range ti.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// qaAssess asks the QA agent to judge a step outcome; it returns pass and
+// the feedback text.
+func qaAssess(rt *Runtime, st *State, task, preview, errMsg string) (bool, string, error) {
+	var resp llm.QAResponse
+	err := callModel(rt, st, "qa", llm.SkillQA,
+		"You are the quality assurance agent. Score the output 1-100 for whether it satisfactorily completes the delegated task.",
+		llm.QARequest{Task: task, Preview: preview, Error: errMsg}, &resp)
+	if err != nil {
+		return false, "", err
+	}
+	return resp.Pass, resp.Feedback, nil
+}
+
+// humanHint consults the feedback hook on an error (§4.2.2: directly
+// providing the correct name resolves the issue).
+func humanHint(rt *Runtime, st *State, errMsg string) string {
+	if rt.Feedback == nil {
+		return ""
+	}
+	if hint, ok := rt.Feedback.OnError(currentStep(st), errMsg); ok {
+		return " [human hint: " + hint + "]"
+	}
+	return ""
+}
+
+// sqlNode generates and executes the filtering queries, staging "work"
+// (and "work_gal") tables, with the QA-guided retry loop of §3.2.
+func sqlNode(rt *Runtime, st *State) (string, error) {
+	in := st.Plan.Intent
+	task := currentTask(st)
+	type target struct {
+		src, dst, role string
+	}
+	// The primary staged table filters into "work"; when both catalogs are
+	// staged the galaxy table becomes "work_gal". A galaxies-only question
+	// makes the galaxy table primary.
+	var targets []target
+	_, hasHalos := st.Staged["halos"]
+	_, hasGals := st.Staged["galaxies"]
+	switch {
+	case hasHalos && hasGals:
+		targets = append(targets,
+			target{"halos", "work", hacc.FileHalos},
+			target{"galaxies", "work_gal", hacc.FileGalaxies})
+	case hasHalos:
+		targets = append(targets, target{"halos", "work", hacc.FileHalos})
+	case hasGals:
+		targets = append(targets, target{"galaxies", "work", hacc.FileGalaxies})
+	}
+	if len(targets) == 0 {
+		stepFailed(st, "sql: no staged tables to filter")
+		return nodeSupervisor, nil
+	}
+	for _, tgt := range targets {
+		cols := llm.NeedColumns(in, tgt.role)
+		priorError := ""
+		ok := false
+		for attempt := 0; attempt <= rt.MaxRevisions; attempt++ {
+			var resp llm.SQLResponse
+			err := callModel(rt, st, "sql", llm.SkillSQL,
+				"You are the SQL programming agent. Generate one SELECT over the staged table.",
+				llm.SQLRequest{Task: task, Intent: in, Table: tgt.src, Role: tgt.role, Columns: cols,
+					Context: st.RetrievedContext, Attempt: attempt, PriorError: priorError}, &resp)
+			if err != nil {
+				return "", err
+			}
+			if rt.Session != nil {
+				if _, err := rt.Session.Record("sql", "code", tgt.dst+".sql", []byte(resp.SQL)); err != nil {
+					return "", err
+				}
+			}
+			frame, qerr := rt.DB.Query(resp.SQL)
+			if qerr != nil {
+				st.RedoCount++
+				priorError = qerr.Error() + humanHint(rt, st, qerr.Error())
+				continue
+			}
+			pass, feedback, aerr := qaAssess(rt, st, task, fmt.Sprintf("query returned %d rows x %d cols", frame.NumRows(), frame.NumCols()), "")
+			if aerr != nil {
+				return "", aerr
+			}
+			if !pass {
+				st.RedoCount++
+				priorError = feedback
+				continue
+			}
+			if err := rt.DB.CreateOrReplaceTable(tgt.dst, frame); err != nil {
+				return "", err
+			}
+			if rt.Session != nil {
+				if _, err := rt.Session.RecordFrame("sql", tgt.dst, frame); err != nil {
+					return "", err
+				}
+			}
+			st.Staged[tgt.dst] = frame.Names()
+			ok = true
+			break
+		}
+		if !ok {
+			stepFailed(st, fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError))
+			return nodeSupervisor, nil
+		}
+	}
+	stepDone(st, "sql filtering: "+task)
+	return nodeSupervisor, nil
+}
+
+// workTables builds the sandbox input set from the staged tables.
+func workTables(rt *Runtime, st *State) (map[string]*dataframe.Frame, error) {
+	out := map[string]*dataframe.Frame{}
+	for _, name := range []string{"work", "work_gal", "analysis"} {
+		if _, ok := st.Staged[name]; !ok {
+			continue
+		}
+		f, err := rt.DB.ReadTable(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+func scriptTables(st *State) map[string][]string {
+	out := map[string][]string{}
+	for name, cols := range st.Staged {
+		if name == "work" || name == "work_gal" || name == "analysis" {
+			out[name] = cols
+		}
+	}
+	return out
+}
+
+// runCodeStep is the shared python/viz execution loop: generate code,
+// execute in the sandbox, QA-assess, retry with the error message up to
+// MaxRevisions.
+func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int) (string, error) {
+	in := st.Plan.Intent
+	task := currentTask(st)
+	priorError := ""
+	for attempt := 0; attempt <= rt.MaxRevisions; attempt++ {
+		req := llm.ScriptRequest{
+			Task: task, Intent: in, Tables: scriptTables(st),
+			Sims: st.LoadedSims, Steps: st.LoadedSteps,
+			Context:   st.RetrievedContext,
+			StepIndex: stepIndex, Attempt: attempt, PriorError: priorError,
+			Strategy: st.Strategy,
+		}
+		var resp llm.ScriptResponse
+		err := callModel(rt, st, agentName, skill,
+			"You are the "+agentName+" agent. Generate analysis code for the delegated task.",
+			req, &resp)
+		if err != nil {
+			return "", err
+		}
+		if st.Strategy < 0 && resp.Strategy >= 0 && in.Ambiguous {
+			st.Strategy = resp.Strategy
+		}
+		if rt.Session != nil {
+			name := fmt.Sprintf("%s_step%d.isc", agentName, stepIndex)
+			if _, err := rt.Session.Record(agentName, "code", name, []byte(resp.Code)); err != nil {
+				return "", err
+			}
+		}
+		tables, err := workTables(rt, st)
+		if err != nil {
+			return "", err
+		}
+		res := rt.Sandbox.Exec(resp.Code, tables)
+		if !res.OK {
+			st.RedoCount++
+			priorError = res.Error + humanHint(rt, st, res.Error)
+			continue
+		}
+		pass, feedback, aerr := qaAssess(rt, st, task, res.Preview(), "")
+		if aerr != nil {
+			return "", aerr
+		}
+		if !pass {
+			st.RedoCount++
+			priorError = feedback
+			continue
+		}
+		// Persist outputs: artifacts to provenance, frame to the DB.
+		if rt.Session != nil {
+			for name, data := range res.Artifacts {
+				kind := "plot"
+				if strings.HasSuffix(name, ".csv") {
+					kind = "data"
+				} else if strings.HasSuffix(name, ".vtk") {
+					kind = "scene"
+				}
+				if _, err := rt.Session.Record(agentName, kind, name, data); err != nil {
+					return "", err
+				}
+			}
+		}
+		if res.Frame != nil {
+			if err := rt.DB.CreateOrReplaceTable("analysis", res.Frame); err != nil {
+				return "", err
+			}
+			st.Staged["analysis"] = res.Frame.Names()
+			if rt.Session != nil {
+				if _, err := rt.Session.RecordFrame(agentName, "analysis_step", res.Frame.Head(1000)); err != nil {
+					return "", err
+				}
+			}
+		}
+		stepDone(st, agentName+": "+task)
+		return nodeSupervisor, nil
+	}
+	stepFailed(st, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError))
+	return nodeSupervisor, nil
+}
+
+func pythonNode(rt *Runtime, st *State) (string, error) {
+	next, err := runCodeStep(rt, st, "python", llm.SkillScript, st.PyCount)
+	if err == nil && !st.Failed {
+		st.PyCount++
+	}
+	return next, err
+}
+
+func vizNode(rt *Runtime, st *State) (string, error) {
+	next, err := runCodeStep(rt, st, "viz", llm.SkillViz, st.VizCount)
+	if err == nil && !st.Failed {
+		st.VizCount++
+	}
+	return next, err
+}
+
+// docNode writes the documentation agent's workflow summary and ends the
+// run.
+func docNode(rt *Runtime, st *State) (string, error) {
+	if rt.SkipDocumentation {
+		if !st.Failed {
+			st.Done = true
+		}
+		return "", nil
+	}
+	req := llm.SummaryRequest{Question: st.Question, Steps: st.Completed, Failures: st.Failures}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := rt.Model.Complete(llm.Request{Agent: "documentation", Skill: llm.SkillSummary,
+		System: "You are the documentation agent. Record the workflow.", Prompt: string(raw)})
+	if err != nil {
+		return "", err
+	}
+	st.Usage.Add(resp.Usage)
+	if rt.Session != nil {
+		if _, err := rt.Session.Record("documentation", "summary", "summary.md", []byte(resp.Text)); err != nil {
+			return "", err
+		}
+	}
+	if !st.Failed {
+		st.Done = true
+	}
+	return "", nil
+}

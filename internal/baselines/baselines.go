@@ -1,0 +1,144 @@
+// Package baselines implements the §4.4 comparison systems: a direct-chat
+// LLM fed raw data through its prompt, a PandasAI-like tool requiring full
+// in-memory ingestion, and a static linear workflow without supervisor
+// routing or QA repair. Each fails on ensemble-scale data in the specific
+// way the paper reports.
+package baselines
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"infera/internal/dataframe"
+	"infera/internal/gio"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+)
+
+// DirectChatResult reports one direct-chat attempt.
+type DirectChatResult struct {
+	Answered        bool
+	Hallucinated    bool // model confabulated values (§4.4: a 20x5 frame already hallucinates)
+	ContextExceeded bool // prompt did not fit the model window
+	PromptTokens    int
+	Rows            int
+}
+
+// DirectChat pastes rows of the final-step halo catalog of sim 0 into the
+// model prompt and asks the question — the "standard chat model" baseline.
+func DirectChat(model llm.Client, cat *hacc.Catalog, question string, maxRows int) (DirectChatResult, error) {
+	steps := cat.Steps()
+	entry, ok := cat.Find(0, steps[len(steps)-1], hacc.FileHalos)
+	if !ok {
+		return DirectChatResult{}, fmt.Errorf("baselines: no halo file")
+	}
+	r, err := gio.Open(cat.AbsPath(entry))
+	if err != nil {
+		return DirectChatResult{}, err
+	}
+	defer r.Close()
+	f, err := r.ReadAll()
+	if err != nil {
+		return DirectChatResult{}, err
+	}
+	f = f.Head(maxRows)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		return DirectChatResult{}, err
+	}
+	payload, err := json.Marshal(llm.ChatRequest{Question: question, DataCSV: buf.String()})
+	if err != nil {
+		return DirectChatResult{}, err
+	}
+	resp, err := model.Complete(llm.Request{Agent: "direct-chat", Skill: llm.SkillChat, Prompt: string(payload)})
+	if err != nil {
+		var cwe *llm.ContextWindowError
+		if errors.As(err, &cwe) {
+			return DirectChatResult{ContextExceeded: true, PromptTokens: cwe.Tokens, Rows: f.NumRows()}, nil
+		}
+		return DirectChatResult{}, err
+	}
+	var chat llm.ChatResponse
+	if err := json.Unmarshal([]byte(resp.Text), &chat); err != nil {
+		return DirectChatResult{}, err
+	}
+	return DirectChatResult{
+		Answered:     true,
+		Hallucinated: chat.Hallucinated,
+		PromptTokens: resp.Usage.Prompt,
+		Rows:         f.NumRows(),
+	}, nil
+}
+
+// PandasAIResult reports one full-ingestion attempt.
+type PandasAIResult struct {
+	OK          bool
+	Reason      string
+	BytesNeeded int64 // what full ingestion would read
+	Budget      int64
+	Answer      *dataframe.Frame // only for small data
+}
+
+// PandasAILike models a tool that "generally require[s] the full dataset to
+// be in memory prior to analysis": it must read every file of the involved
+// entity across all runs and steps — no column pruning, no file pruning —
+// and fails when that exceeds the memory budget.
+func PandasAILike(cat *hacc.Catalog, question string, memBudget int64) (PandasAIResult, error) {
+	in := llm.ParseIntent(question)
+	entity := hacc.FileHalos
+	for _, e := range in.Entities {
+		entity = e
+		break
+	}
+	files := cat.FilesOf(-1, -1, entity)
+	var needed int64
+	for _, fe := range files {
+		if fe.Step < 0 {
+			continue
+		}
+		needed += fe.Bytes
+	}
+	res := PandasAIResult{BytesNeeded: needed, Budget: memBudget}
+	if needed > memBudget {
+		res.Reason = fmt.Sprintf("MemoryError: full ingestion needs %d bytes, budget is %d", needed, memBudget)
+		return res, nil
+	}
+	// Small data: ingest everything and answer a ranking question.
+	full := dataframe.New()
+	for _, fe := range files {
+		if fe.Step < 0 {
+			continue
+		}
+		r, err := gio.Open(cat.AbsPath(fe))
+		if err != nil {
+			return res, err
+		}
+		f, err := r.ReadAll()
+		r.Close()
+		if err != nil {
+			return res, err
+		}
+		if full.NumCols() == 0 {
+			full = f
+		} else if err := full.Append(f); err != nil {
+			return res, err
+		}
+	}
+	if in.RankBy != "" && full.Has(in.RankBy) {
+		sorted, err := full.SortBy(dataframe.SortKey{Col: in.RankBy, Desc: true})
+		if err != nil {
+			return res, err
+		}
+		n := in.TopN
+		if n <= 0 {
+			n = 10
+		}
+		res.Answer = sorted.Head(n)
+	} else {
+		res.Answer = full.Head(10)
+	}
+	res.OK = true
+	return res, nil
+}

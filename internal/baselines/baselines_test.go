@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"infera/internal/hacc"
+	"infera/internal/llm"
+)
+
+func testCatalog(t *testing.T) *hacc.Catalog {
+	t.Helper()
+	dir := t.TempDir()
+	spec := hacc.Spec{Runs: 2, Steps: []int{99, 624}, HalosPerRun: 120, ParticlesPerStep: 50, BoxSize: 128, Seed: 17}
+	cat, err := hacc.Generate(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestDirectChatHallucinatesOnModestData(t *testing.T) {
+	cat := testCatalog(t)
+	model := llm.NewSim(llm.SimConfig{Seed: 1})
+	// 20 rows (the paper's toy 20x5 example, ours is wider) is already
+	// enough to confabulate.
+	res, err := DirectChat(model, cat, "list the halo masses", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answered || !res.Hallucinated {
+		t.Errorf("result = %+v, want answered+hallucinated", res)
+	}
+}
+
+func TestDirectChatExceedsContextWindow(t *testing.T) {
+	cat := testCatalog(t)
+	model := llm.NewSim(llm.SimConfig{Seed: 1, Window: 2000})
+	res, err := DirectChat(model, cat, "list the halo masses", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContextExceeded {
+		t.Errorf("result = %+v, want context exceeded", res)
+	}
+}
+
+func TestPandasAILikeFailsAtScale(t *testing.T) {
+	cat := testCatalog(t)
+	q := "Can you find me the top 20 largest friends-of-friends halos from timestep 624 in simulation 0?"
+	// Tight budget: full ingestion impossible.
+	res, err := PandasAILike(cat, q, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || !strings.Contains(res.Reason, "MemoryError") {
+		t.Errorf("result = %+v, want memory failure", res)
+	}
+	if res.BytesNeeded <= 0 {
+		t.Error("bytes needed not computed")
+	}
+	// Generous budget: it works, proving the failure is scale, not logic.
+	res, err = PandasAILike(cat, q, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Answer == nil || res.Answer.NumRows() != 20 {
+		t.Errorf("result = %+v", res)
+	}
+	masses := res.Answer.MustColumn("fof_halo_mass").Floats()
+	for i := 1; i < len(masses); i++ {
+		if masses[i] > masses[i-1] {
+			t.Error("answer not ranked")
+		}
+	}
+}
+
+func TestCompareArchitectures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("architecture comparison skipped in -short")
+	}
+	cat := testCatalog(t)
+	questions := []string{
+		"At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation?",
+		"Find the most unique halos at timestep 624 in simulation 1: using velocity dispersion, mass and kinetic energy, score how atypical each halo is and plot the top 50 as a UMAP plot highlighting the top 10.",
+	}
+	res, err := CompareArchitectures(cat.Dir, questions, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 8 {
+		t.Fatalf("runs = %d", res.Runs)
+	}
+	if res.StaticCompleted > res.MultiCompleted {
+		t.Errorf("static pipeline (%d) should not beat the multi-agent system (%d)",
+			res.StaticCompleted, res.MultiCompleted)
+	}
+}

@@ -1,0 +1,67 @@
+package baselines
+
+import (
+	"os"
+
+	"infera/internal/core"
+	"infera/internal/llm"
+)
+
+// StaticResult summarizes a multi-agent vs static-linear comparison.
+type StaticResult struct {
+	Runs            int
+	MultiCompleted  int // runs completing under the full architecture
+	StaticCompleted int // runs completing under the static pipeline
+}
+
+// CompareArchitectures runs each question under (a) the full multi-agent
+// system (supervisor routing + QA repair loop) and (b) a static linear
+// pipeline that executes each step exactly once with no error-guided
+// regeneration — the §4.4.1 architecture comparison. Same model seeds on
+// both sides, so the only difference is the architecture.
+func CompareArchitectures(ensembleDir string, questions []string, reps int, seed int64) (StaticResult, error) {
+	var out StaticResult
+	for qi, q := range questions {
+		for r := 0; r < reps; r++ {
+			runSeed := seed + int64(qi)*100 + int64(r)
+			multiOK, err := runOnce(ensembleDir, q, runSeed, 0)
+			if err != nil {
+				return out, err
+			}
+			staticOK, err := runOnce(ensembleDir, q, runSeed, -1)
+			if err != nil {
+				return out, err
+			}
+			out.Runs++
+			if multiOK {
+				out.MultiCompleted++
+			}
+			if staticOK {
+				out.StaticCompleted++
+			}
+		}
+	}
+	return out, nil
+}
+
+// runOnce executes one workflow; maxRevisions -1 disables the QA repair
+// loop (the static pipeline), 0 uses the default budget of 5.
+func runOnce(ensembleDir, question string, seed int64, maxRevisions int) (bool, error) {
+	workDir, err := os.MkdirTemp("", "infera-baseline-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(workDir)
+	a, err := core.New(core.Config{
+		EnsembleDir:  ensembleDir,
+		WorkDir:      workDir,
+		Model:        llm.NewSim(llm.SimConfig{Seed: seed}),
+		MaxRevisions: maxRevisions,
+	})
+	if err != nil {
+		return false, err
+	}
+	defer a.Close()
+	ans, _ := a.Ask(question)
+	return ans != nil && ans.State.Done && !ans.State.Failed, nil
+}

@@ -1,0 +1,217 @@
+// Package core is InferA's public API: point an Assistant at a HACC-style
+// ensemble and ask natural-language questions. Each question runs the full
+// two-stage multi-agent workflow (plan -> approve -> supervised analysis)
+// against a per-question staging database, an isolated sandbox, and a
+// provenance session recording every intermediate artifact.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"infera/internal/agent"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/provenance"
+	"infera/internal/rag"
+	"infera/internal/sandbox"
+	"infera/internal/script"
+	"infera/internal/sqldb"
+	"infera/internal/tools"
+)
+
+// Config configures an Assistant.
+type Config struct {
+	// EnsembleDir is the root of a generated ensemble (hacc.Generate).
+	EnsembleDir string
+	// WorkDir holds staging databases and provenance sessions; a temp dir
+	// is created when empty.
+	WorkDir string
+	// Model is the language model; defaults to llm.NewSim with Seed.
+	Model llm.Client
+	// Seed seeds the default simulated model.
+	Seed int64
+	// Feedback enables the human-in-the-loop hooks; nil runs automated.
+	Feedback agent.Feedback
+	// TrimHistory applies the supervisor-context token optimization.
+	TrimHistory bool
+	// SkipDocumentation drops the documentation agent's summary (§4.1.4).
+	SkipDocumentation bool
+	// UseServer executes sandbox code over a loopback HTTP server instead
+	// of in-process, exercising the full §3.2 isolation boundary.
+	UseServer bool
+	// MaxRevisions caps QA-guided retries per step (default 5).
+	MaxRevisions int
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+// Assistant answers questions over one ensemble.
+type Assistant struct {
+	cfg      Config
+	catalog  *hacc.Catalog
+	model    llm.Client
+	store    *provenance.Store
+	retr     *rag.Retriever
+	registry script.Registry
+	server   *sandbox.Server
+	workDir  string
+	nextID   int
+}
+
+// New opens the ensemble and prepares the assistant.
+func New(cfg Config) (*Assistant, error) {
+	cat, err := hacc.Load(cfg.EnsembleDir)
+	if err != nil {
+		return nil, err
+	}
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		workDir, err = os.MkdirTemp("", "infera-work-*")
+		if err != nil {
+			return nil, err
+		}
+	}
+	store, err := provenance.NewStore(filepath.Join(workDir, "sessions"))
+	if err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == nil {
+		model = llm.NewSim(llm.SimConfig{Seed: cfg.Seed})
+	}
+	reg := script.DefaultRegistry()
+	tools.Register(reg, cat)
+
+	a := &Assistant{
+		cfg:      cfg,
+		catalog:  cat,
+		model:    model,
+		store:    store,
+		retr:     rag.NewRetriever(rag.BuildHACCIndex()),
+		registry: reg,
+		workDir:  workDir,
+	}
+	if cfg.UseServer {
+		srv := sandbox.NewServer(&sandbox.Executor{Registry: reg})
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("core: start sandbox server: %w", err)
+		}
+		a.server = srv
+	}
+	return a, nil
+}
+
+// Close releases the sandbox server, if any.
+func (a *Assistant) Close() error {
+	if a.server != nil {
+		return a.server.Close()
+	}
+	return nil
+}
+
+// Catalog exposes the loaded ensemble catalog.
+func (a *Assistant) Catalog() *hacc.Catalog { return a.catalog }
+
+// Model exposes the configured language model.
+func (a *Assistant) Model() llm.Client { return a.model }
+
+// Store exposes the provenance store for session inspection and branching.
+func (a *Assistant) Store() *provenance.Store { return a.store }
+
+// Answer is the outcome of one question.
+type Answer struct {
+	*agent.Result
+	SessionID string
+	// DBBytes is the staging database size — the storage-overhead
+	// numerator of §4.1.3.
+	DBBytes int64
+	// ProvenanceBytes is the artifact trail size.
+	ProvenanceBytes int64
+	// SourceBytes is the ensemble size (the overhead denominator).
+	SourceBytes int64
+}
+
+// StorageOverheadFraction returns (DB + provenance) / source size.
+func (ans *Answer) StorageOverheadFraction() float64 {
+	if ans.SourceBytes == 0 {
+		return 0
+	}
+	return float64(ans.DBBytes+ans.ProvenanceBytes) / float64(ans.SourceBytes)
+}
+
+// VerifySession re-hashes every artifact of a session against its
+// manifest, returning the entries that fail — the reproducibility audit of
+// §4.2.1. An empty slice means the trail is intact.
+func (a *Assistant) VerifySession(sessionID string) ([]provenance.Entry, error) {
+	sess, err := a.store.OpenSession(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Verify()
+}
+
+// BranchSession copies a session's artifact trail up to and including
+// sequence number upTo into a new session, so alternative follow-up steps
+// can explore from an established processing stage without recomputation
+// (the workflow-branching feature of §4.2.1). It returns the new session
+// ID.
+func (a *Assistant) BranchSession(sessionID string, upTo int) (string, error) {
+	src, err := a.store.OpenSession(sessionID)
+	if err != nil {
+		return "", err
+	}
+	newID := fmt.Sprintf("%s-branch-%d", sessionID, upTo)
+	if _, err := a.store.Branch(src, newID, upTo); err != nil {
+		return "", err
+	}
+	return newID, nil
+}
+
+// Ask runs the full workflow for one question. The returned error is
+// non-nil when the run terminated before completing its plan; the Answer
+// still carries partial state, usage and provenance.
+func (a *Assistant) Ask(question string) (*Answer, error) {
+	a.nextID++
+	sessionID := fmt.Sprintf("session-%03d", a.nextID)
+	sess, err := a.store.NewSession(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	dbDir := filepath.Join(a.workDir, "db", sessionID)
+	db, err := sqldb.Create(dbDir)
+	if err != nil {
+		return nil, err
+	}
+
+	var runner sandbox.Runner
+	if a.server != nil {
+		runner = sandbox.NewClient(a.server.Addr())
+	} else {
+		runner = &sandbox.Executor{Registry: a.registry}
+	}
+
+	rt := &agent.Runtime{
+		Model:             a.model,
+		Catalog:           a.catalog,
+		DB:                db,
+		Sandbox:           runner,
+		Session:           sess,
+		Retriever:         a.retr,
+		Feedback:          a.cfg.Feedback,
+		MaxRevisions:      a.cfg.MaxRevisions,
+		TrimHistory:       a.cfg.TrimHistory,
+		SkipDocumentation: a.cfg.SkipDocumentation,
+		Logf:              a.cfg.Logf,
+	}
+	res, runErr := agent.Run(rt, question)
+	ans := &Answer{
+		Result:          res,
+		SessionID:       sessionID,
+		DBBytes:         db.SizeBytes(),
+		ProvenanceBytes: sess.SizeBytes(),
+		SourceBytes:     a.catalog.TotalBytes(),
+	}
+	return ans, runErr
+}

@@ -1,0 +1,93 @@
+package dataframe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the frame as RFC-4180 CSV with a header row. It is the
+// on-disk artifact format used by the provenance store (§4.2.1 of the
+// paper: "systematically recording all intermediate CSV files").
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return err
+	}
+	row := make([]string, f.NumCols())
+	for r := 0; r < f.NumRows(); r++ {
+		for j, c := range f.cols {
+			row[j] = c.StringAt(r)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a CSV with a header row, inferring each column's kind:
+// a column is Int if every cell parses as an integer, else Float if every
+// cell parses as a float, else String. Empty input yields an error.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataframe: read csv: empty input")
+	}
+	header := records[0]
+	rows := records[1:]
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataframe: read csv: row %d has %d fields, header has %d", i+1, len(rec), len(header))
+		}
+	}
+
+	out := New()
+	for j, name := range header {
+		isInt, isFloat := true, true
+		for _, rec := range rows {
+			cell := rec[j]
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				isInt = false
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				isFloat = false
+			}
+			if !isInt && !isFloat {
+				break
+			}
+		}
+		var col *Column
+		switch {
+		case isInt:
+			vals := make([]int64, len(rows))
+			for i, rec := range rows {
+				vals[i], _ = strconv.ParseInt(rec[j], 10, 64)
+			}
+			col = NewInt(name, vals)
+		case isFloat:
+			vals := make([]float64, len(rows))
+			for i, rec := range rows {
+				vals[i], _ = strconv.ParseFloat(rec[j], 64)
+			}
+			col = NewFloat(name, vals)
+		default:
+			vals := make([]string, len(rows))
+			for i, rec := range rows {
+				vals[i] = rec[j]
+			}
+			col = NewString(name, vals)
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

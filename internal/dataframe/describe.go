@@ -1,0 +1,63 @@
+package dataframe
+
+import "math"
+
+// Describe returns per-numeric-column summary statistics (count of finite
+// values, mean, population std, min, max) as a frame with one row per
+// column — the quick-look record the documentation agent attaches to
+// intermediate results.
+func (f *Frame) Describe() *Frame {
+	var names []string
+	var counts []int64
+	var means, stds, mins, maxs []float64
+	for i := 0; i < f.NumCols(); i++ {
+		c := f.ColumnAt(i)
+		if c.Kind == String {
+			continue
+		}
+		var sum, sumsq float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for r := 0; r < c.Len(); r++ {
+			v := c.FloatAt(r)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			sumsq += v * v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			n++
+		}
+		names = append(names, c.Name)
+		counts = append(counts, int64(n))
+		if n == 0 {
+			means = append(means, math.NaN())
+			stds = append(stds, math.NaN())
+			mins = append(mins, math.NaN())
+			maxs = append(maxs, math.NaN())
+			continue
+		}
+		m := sum / float64(n)
+		v := sumsq/float64(n) - m*m
+		if v < 0 {
+			v = 0
+		}
+		means = append(means, m)
+		stds = append(stds, math.Sqrt(v))
+		mins = append(mins, lo)
+		maxs = append(maxs, hi)
+	}
+	return MustFromColumns(
+		NewString("column", names),
+		NewInt("count", counts),
+		NewFloat("mean", means),
+		NewFloat("std", stds),
+		NewFloat("min", mins),
+		NewFloat("max", maxs),
+	)
+}

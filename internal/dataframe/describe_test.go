@@ -1,0 +1,49 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	f := MustFromColumns(
+		NewInt("tag", []int64{1, 2, 3, 4}),
+		NewFloat("mass", []float64{2, 4, 4, 6}),
+		NewString("sim", []string{"a", "b", "a", "b"}),
+	)
+	d := f.Describe()
+	if d.NumRows() != 2 { // string column excluded
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	if d.MustColumn("column").S[1] != "mass" {
+		t.Errorf("names = %v", d.MustColumn("column").S)
+	}
+	if got := d.MustColumn("mean").F[1]; got != 4 {
+		t.Errorf("mass mean = %v", got)
+	}
+	if got := d.MustColumn("std").F[1]; math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("mass std = %v", got)
+	}
+	if d.MustColumn("min").F[0] != 1 || d.MustColumn("max").F[0] != 4 {
+		t.Errorf("tag range = %v..%v", d.MustColumn("min").F[0], d.MustColumn("max").F[0])
+	}
+	if d.MustColumn("count").I[1] != 4 {
+		t.Errorf("count = %v", d.MustColumn("count").I[1])
+	}
+}
+
+func TestDescribeHandlesNaNAndEmpty(t *testing.T) {
+	f := MustFromColumns(NewFloat("x", []float64{math.NaN(), 1, 3, math.Inf(1)}))
+	d := f.Describe()
+	if d.MustColumn("count").I[0] != 2 {
+		t.Errorf("finite count = %v", d.MustColumn("count").I[0])
+	}
+	if d.MustColumn("mean").F[0] != 2 {
+		t.Errorf("mean = %v", d.MustColumn("mean").F[0])
+	}
+	allNaN := MustFromColumns(NewFloat("y", []float64{math.NaN()}))
+	dd := allNaN.Describe()
+	if !math.IsNaN(dd.MustColumn("mean").F[0]) || dd.MustColumn("count").I[0] != 0 {
+		t.Errorf("all-NaN describe = %v", dd)
+	}
+}

@@ -1,0 +1,108 @@
+package dataframe
+
+import "fmt"
+
+// JoinKind selects the join semantics.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	Inner JoinKind = iota
+	Left
+)
+
+// Join performs an equi-join of left and right on the column named on,
+// which must exist in both frames with the same kind. Right-side columns
+// that collide with left-side names are suffixed "_right" (pandas-style).
+// Row order follows the left frame; multiple matches expand pairwise.
+func Join(left, right *Frame, on string, kind JoinKind) (*Frame, error) {
+	lc, err := left.Column(on)
+	if err != nil {
+		return nil, fmt.Errorf("join left: %w", err)
+	}
+	rc, err := right.Column(on)
+	if err != nil {
+		return nil, fmt.Errorf("join right: %w", err)
+	}
+	if lc.Kind != rc.Kind {
+		return nil, fmt.Errorf("dataframe: join key %q kind mismatch: %s vs %s", on, lc.Kind, rc.Kind)
+	}
+
+	// Hash the right side by key string form (exact for ints/strings; for
+	// floats the formatted value is exact round-trip via strconv 'g' -1).
+	rIdx := map[string][]int{}
+	for r := 0; r < right.NumRows(); r++ {
+		k := rc.StringAt(r)
+		rIdx[k] = append(rIdx[k], r)
+	}
+
+	var lRows, rRows []int // rRows[i] == -1 marks an unmatched left row
+	for l := 0; l < left.NumRows(); l++ {
+		matches := rIdx[lc.StringAt(l)]
+		if len(matches) == 0 {
+			if kind == Left {
+				lRows = append(lRows, l)
+				rRows = append(rRows, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			lRows = append(lRows, l)
+			rRows = append(rRows, r)
+		}
+	}
+
+	out := left.Gather(lRows)
+	for _, c := range right.cols {
+		if c.Name == on {
+			continue
+		}
+		name := c.Name
+		if out.Has(name) {
+			name += "_right"
+		}
+		col := gatherWithMissing(c, rRows)
+		col.Name = name
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// gatherWithMissing is Column.gather extended with -1 indices producing the
+// kind's null surrogate (NaN / 0 / "").
+func gatherWithMissing(c *Column, idx []int) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind}
+	switch c.Kind {
+	case Float:
+		out.F = make([]float64, len(idx))
+		for j, i := range idx {
+			if i < 0 {
+				out.F[j] = nan()
+			} else {
+				out.F[j] = c.F[i]
+			}
+		}
+	case Int:
+		out.I = make([]int64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.I[j] = c.I[i]
+			}
+		}
+	default:
+		out.S = make([]string, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.S[j] = c.S[i]
+			}
+		}
+	}
+	return out
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

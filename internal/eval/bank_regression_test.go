@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"os"
+	"testing"
+
+	"infera/internal/core"
+	"infera/internal/llm"
+)
+
+// TestEveryBankQuestionCompletesWithoutErrors is the regression net behind
+// the evaluation: with an error-free model, all 20 questions must complete
+// their plans, be judged data-satisfactory, and (when applicable) produce
+// the expected visualization form. Any failure here is a real pipeline
+// bug, not injected noise.
+func TestEveryBankQuestionCompletesWithoutErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bank regression skipped in -short")
+	}
+	dir := evalEnsemble(t)
+	for _, q := range Bank() {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			work, err := os.MkdirTemp("", "infera-bank-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.RemoveAll(work)
+			a, err := core.New(core.Config{
+				EnsembleDir: dir,
+				WorkDir:     work,
+				Model:       llm.NewSim(llm.SimConfig{Seed: 1234, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			ans, askErr := a.Ask(q.Text)
+			if askErr != nil {
+				t.Fatalf("run failed: %v", askErr)
+			}
+			if !ans.State.Done {
+				t.Fatal("run did not complete")
+			}
+			sess, err := a.Store().OpenSession(ans.SessionID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := Judge(ans, sess)
+			if !j.DataSatisfactory {
+				t.Errorf("data unsatisfactory: answer columns %v", ans.Answer.Names())
+			}
+			if j.VizApplicable != q.WantsViz {
+				t.Errorf("viz applicability = %v, bank says %v", j.VizApplicable, q.WantsViz)
+			}
+			if j.VizApplicable && !j.VizSatisfactory {
+				t.Error("visualization unsatisfactory under an error-free model")
+			}
+			// The provenance trail of every question verifies.
+			if bad, err := sess.Verify(); err != nil || len(bad) != 0 {
+				t.Errorf("provenance verify: %v %v", bad, err)
+			}
+		})
+	}
+}

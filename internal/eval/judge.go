@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"strings"
+
+	"infera/internal/core"
+	"infera/internal/llm"
+	"infera/internal/provenance"
+)
+
+// Judgment is the rule-based assessment of one run, following §3.3: data
+// and visualization success are measured against the explicit tasks the
+// plan assigned, not against latent user intent.
+type Judgment struct {
+	DataSatisfactory bool
+	VizSatisfactory  bool // meaningful only when the plan contained viz steps
+	VizApplicable    bool
+}
+
+// Judge scores a completed (or failed) run. session gives access to the
+// recorded artifacts.
+func Judge(ans *core.Answer, session *provenance.Session) Judgment {
+	var j Judgment
+	j.VizApplicable = planHasViz(ans)
+	if ans == nil || ans.Result == nil {
+		return j
+	}
+	j.DataSatisfactory = judgeData(ans)
+	if j.VizApplicable {
+		j.VizSatisfactory = judgeViz(ans, session)
+	}
+	return j
+}
+
+func planHasViz(ans *core.Answer) bool {
+	for _, s := range ans.State.Plan.Steps {
+		if s.Agent == llm.AgentViz {
+			return true
+		}
+	}
+	return false
+}
+
+// judgeData checks that the final analysis frame exists, is on-topic
+// (expected columns for the question's analysis recipe) and passes value
+// sanity checks that expose "valid but wrong technique" outputs.
+func judgeData(ans *core.Answer) bool {
+	if ans.State.Failed || ans.Answer == nil || ans.Answer.NumRows() == 0 {
+		return false
+	}
+	f := ans.Answer
+	in := ans.State.Plan.Intent
+	switch in.Analysis {
+	case "aggregate":
+		return f.Has(in.Aggregate + "_" + firstMetric(in))
+	case "topn":
+		if !f.Has(in.RankBy) || f.NumRows() > in.TopN {
+			return false
+		}
+		// Ranked output must descend.
+		vals := f.MustColumn(in.RankBy).Floats()
+		for i := 1; i < len(vals); i++ {
+			if vals[i] > vals[i-1] {
+				return false
+			}
+		}
+		return true
+	case "track":
+		if !f.Has("max_count") || !f.Has("max_mass") {
+			return false
+		}
+		// The coordinate-tracking mistake yields box-coordinate magnitudes;
+		// real halo masses exceed 1e11 Msun/h.
+		maxMass := 0.0
+		for _, v := range f.MustColumn("max_mass").Floats() {
+			if v > maxMass {
+				maxMass = v
+			}
+		}
+		return maxMass > 1e11
+	case "interestingness":
+		return f.Has("umap_x") && f.Has("umap_y") && f.Has("interestingness")
+	case "gasfrac", "relation":
+		return f.Has("slope") && f.Has("scatter")
+	case "smhm":
+		return f.Has("slope") && f.Has("scatter") && (f.Has("m_seed") || f.Has("step"))
+	case "galhalocompare":
+		return f.Has("mean_stellar") && f.NumRows() == 2
+	case "alignment":
+		return f.Has("fof_halo_tag")
+	case "neighborhood":
+		return f.Has("is_target")
+	case "paramdirection":
+		// Several strategies are valid (§4.5): group means, fits, or a
+		// correlation matrix all address the task.
+		return f.Has("mean_count") || f.Has("slope") || f.Has("variable")
+	case "corrmatrix":
+		return f.Has("variable")
+	case "hist":
+		return f.Has("bin_center") && f.Has("count")
+	default:
+		return true
+	}
+}
+
+// judgeViz checks that the recorded visualization artifacts are the
+// reasonable form for the question (line charts for time series, scatter
+// for embeddings/relations, VTK scenes for spatial requests) — the §3.3
+// criterion that "the chosen form of visualization is reasonable".
+func judgeViz(ans *core.Answer, session *provenance.Session) bool {
+	if ans.State.Failed || session == nil {
+		return false
+	}
+	in := ans.State.Plan.Intent
+	type artifact struct {
+		name string
+		data []byte
+	}
+	var arts []artifact
+	for _, e := range ans.Artifacts {
+		if e.Kind != "plot" && e.Kind != "scene" {
+			continue
+		}
+		data, err := session.Read(e)
+		if err != nil {
+			return false
+		}
+		arts = append(arts, artifact{e.Name, data})
+	}
+	if len(arts) == 0 {
+		return false
+	}
+	wantKind := expectedVizKind(in)
+	ok := 0
+	for _, a := range arts {
+		s := string(a.data)
+		switch wantKind {
+		case "line":
+			if strings.Contains(s, "<polyline") {
+				ok++
+			}
+		case "scatter":
+			if strings.Contains(s, "<circle") {
+				ok++
+			}
+		case "hist":
+			if strings.Contains(s, "<rect") && strings.Contains(s, "<svg") {
+				ok++
+			}
+		case "paraview":
+			if strings.Contains(s, "DATASET POLYDATA") {
+				ok++
+			}
+		}
+	}
+	// Every produced artifact of the expected family counts; at least one
+	// must match the expected form.
+	return ok > 0
+}
+
+func expectedVizKind(in llm.Intent) string {
+	switch in.Analysis {
+	case "track":
+		return "line"
+	case "gasfrac":
+		if in.AllSteps {
+			return "line"
+		}
+		return "scatter"
+	case "interestingness", "smhm", "relation", "galhalocompare", "paramdirection", "corrmatrix":
+		return "scatter"
+	case "alignment", "neighborhood":
+		return "paraview"
+	case "hist":
+		return "hist"
+	case "aggregate":
+		if in.AllSteps {
+			return "line"
+		}
+		return "scatter"
+	default:
+		switch in.Plot {
+		case "umap":
+			return "scatter" // UMAP embeddings render as scatter charts
+		case "":
+			return "scatter"
+		default:
+			return in.Plot
+		}
+	}
+}
+
+func firstMetric(in llm.Intent) string {
+	if len(in.Metrics) > 0 {
+		return in.Metrics[0]
+	}
+	return in.RankBy
+}

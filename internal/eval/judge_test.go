@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"testing"
+
+	"infera/internal/agent"
+	"infera/internal/core"
+	"infera/internal/dataframe"
+	"infera/internal/llm"
+)
+
+// answerWith fabricates a core.Answer carrying the given analysis intent
+// and final frame, for judge unit tests without running the pipeline.
+func answerWith(question string, frame *dataframe.Frame, failed bool) *core.Answer {
+	in := llm.ParseIntent(question)
+	plan := llm.Plan{Intent: in}
+	st := agent.State{Question: question, Plan: plan, Failed: failed}
+	res := &agent.Result{State: st, Answer: frame}
+	return &core.Answer{Result: res}
+}
+
+func TestJudgeDataTopNOrdering(t *testing.T) {
+	q := "Can you find me the top 3 largest friends-of-friends halos from timestep 498 in simulation 0?"
+	good := dataframe.MustFromColumns(
+		dataframe.NewFloat("fof_halo_mass", []float64{3, 2, 1}),
+	)
+	if !judgeData(answerWith(q, good, false)) {
+		t.Error("descending top-3 should satisfy")
+	}
+	unsorted := dataframe.MustFromColumns(
+		dataframe.NewFloat("fof_halo_mass", []float64{1, 3, 2}),
+	)
+	if judgeData(answerWith(q, unsorted, false)) {
+		t.Error("unsorted ranking should not satisfy")
+	}
+	tooMany := dataframe.MustFromColumns(
+		dataframe.NewFloat("fof_halo_mass", []float64{4, 3, 2, 1}),
+	)
+	if judgeData(answerWith(q, tooMany, false)) {
+		t.Error("more rows than requested should not satisfy")
+	}
+}
+
+func TestJudgeDataTrackValueSanity(t *testing.T) {
+	q := "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations?"
+	good := dataframe.MustFromColumns(
+		dataframe.NewFloat("max_count", []float64{100, 200}),
+		dataframe.NewFloat("max_mass", []float64{1e13, 2e13}),
+	)
+	if !judgeData(answerWith(q, good, false)) {
+		t.Error("real masses should satisfy")
+	}
+	// The coordinate-tracking mistake: columns named right, values are box
+	// coordinates.
+	coords := dataframe.MustFromColumns(
+		dataframe.NewFloat("max_count", []float64{120, 130}),
+		dataframe.NewFloat("max_mass", []float64{80, 90}),
+	)
+	if judgeData(answerWith(q, coords, false)) {
+		t.Error("coordinate magnitudes should be judged unsatisfactory")
+	}
+}
+
+func TestJudgeDataFailuresAndEmpties(t *testing.T) {
+	q := "average fof_halo_mass at timestep 624"
+	frame := dataframe.MustFromColumns(dataframe.NewFloat("avg_fof_halo_mass", []float64{1}))
+	if judgeData(answerWith(q, frame, true)) {
+		t.Error("failed run should not satisfy")
+	}
+	if judgeData(answerWith(q, nil, false)) {
+		t.Error("missing frame should not satisfy")
+	}
+	empty := dataframe.MustFromColumns(dataframe.NewFloat("avg_fof_halo_mass", nil))
+	if judgeData(answerWith(q, empty, false)) {
+		t.Error("empty frame should not satisfy")
+	}
+	if !judgeData(answerWith(q, frame, false)) {
+		t.Error("correct aggregate should satisfy")
+	}
+	wrong := dataframe.MustFromColumns(dataframe.NewFloat("something_else", []float64{1}))
+	if judgeData(answerWith(q, wrong, false)) {
+		t.Error("off-topic columns should not satisfy")
+	}
+}
+
+func TestJudgeDataSMHMAndCompare(t *testing.T) {
+	qs := "At timestep 624, slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation as a function of seed mass"
+	fits := dataframe.MustFromColumns(
+		dataframe.NewString("m_seed", []string{"1e5", "1e6"}),
+		dataframe.NewFloat("slope", []float64{1, 1}),
+		dataframe.NewFloat("scatter", []float64{0.2, 0.1}),
+	)
+	if !judgeData(answerWith(qs, fits, false)) {
+		t.Error("smhm fits should satisfy")
+	}
+	qc := "find the top 10 galaxies associated to those two halos (related by fof_halo_tag). What are the differences in characteristics?"
+	cmp := dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", []int64{1, 2}),
+		dataframe.NewFloat("mean_stellar", []float64{1, 2}),
+	)
+	if !judgeData(answerWith(qc, cmp, false)) {
+		t.Error("two-group comparison should satisfy")
+	}
+	three := dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", []int64{1, 2, 3}),
+		dataframe.NewFloat("mean_stellar", []float64{1, 2, 3}),
+	)
+	if judgeData(answerWith(qc, three, false)) {
+		t.Error("three groups for a two-halo question should not satisfy")
+	}
+}
+
+func TestJudgeParamdirectionAcceptsAllStrategies(t *testing.T) {
+	q := "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624?"
+	for _, frame := range []*dataframe.Frame{
+		dataframe.MustFromColumns(dataframe.NewFloat("mean_count", []float64{1})),
+		dataframe.MustFromColumns(dataframe.NewFloat("slope", []float64{1})),
+		dataframe.MustFromColumns(dataframe.NewString("variable", []string{"a"})),
+	} {
+		if !judgeData(answerWith(q, frame, false)) {
+			t.Errorf("strategy output %v should satisfy", frame.Names())
+		}
+	}
+}
+
+func TestExpectedVizKindMapping(t *testing.T) {
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"plot the change in mass of the largest halos for all timesteps in all simulations", "line"},
+		{"plot the top 1000 halos as a UMAP plot", "scatter"},
+		{"show the target halo within 20 Mpc in Paraview", "paraview"},
+		{"histogram of fof_halo_mass", "hist"},
+		{"average fof_halo_count at each time step, plot it", "line"},
+	}
+	for _, c := range cases {
+		in := llm.ParseIntent(c.q)
+		if got := expectedVizKind(in); got != c.want {
+			t.Errorf("expectedVizKind(%q) = %q, want %q (analysis %s)", c.q, got, c.want, in.Analysis)
+		}
+	}
+}
+
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short")
+	}
+	dir := evalEnsemble(t)
+	cfg := Config{
+		EnsembleDir: dir,
+		Questions:   Bank()[:4],
+		Reps:        2,
+		Seed:        51,
+	}
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Records) != len(parallel.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(serial.Records), len(parallel.Records))
+	}
+	// Identical seeds per (question, rep) => identical outcomes regardless
+	// of scheduling.
+	for i := range serial.Records {
+		a, b := serial.Records[i], parallel.Records[i]
+		if a.Question.ID != b.Question.ID || a.Rep != b.Rep {
+			t.Fatalf("record %d ordering differs: %s/%d vs %s/%d", i, a.Question.ID, a.Rep, b.Question.ID, b.Rep)
+		}
+		if a.Completed != b.Completed || a.Tokens != b.Tokens || a.Redo != b.Redo {
+			t.Errorf("record %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package eval implements the paper's evaluation procedure (§3.3): a
+// 20-question bank labelled on the analysis-difficulty and semantic-
+// complexity axes (Table 1), a rule-based judge for the data/visualization
+// satisfaction metrics, a 10-runs-per-question harness, and the Table 2
+// report generator.
+package eval
+
+// Difficulty levels on both axes.
+type Difficulty string
+
+// Levels.
+const (
+	Easy   Difficulty = "easy"
+	Medium Difficulty = "medium"
+	Hard   Difficulty = "hard"
+)
+
+// Question is one evaluation item with its ground-truth labels.
+type Question struct {
+	ID       string
+	Text     string
+	Analysis Difficulty // analysis complexity (plan-step count axis)
+	Semantic Difficulty // semantic complexity (metadata-alignment axis)
+	// MultiSim / MultiStep give the #simulation/#timestep category of
+	// Table 2's third grouping.
+	MultiSim  bool
+	MultiStep bool
+	// WantsViz marks questions whose plan includes visualization steps.
+	WantsViz bool
+}
+
+// Bank returns the 20-question evaluation set. The seven Table 1
+// representative questions appear verbatim; the remainder fill the paper's
+// marginal counts: analysis difficulty 6/6/8, semantic complexity 8/5/7,
+// and sim/timestep span 7/5/5/3 (single-single, single-multi,
+// multi-single, multi-multi).
+func Bank() []Question {
+	return []Question{
+		// --- analysis easy / semantic easy (6) ---
+		{ID: "q01", Text: "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+			Analysis: Easy, Semantic: Easy, MultiSim: true, MultiStep: true},
+		{ID: "q02", Text: "What is the average gas mass (sod_halo_MGas500c) of halos at timestep 498 in simulation 0?",
+			Analysis: Easy, Semantic: Easy},
+		{ID: "q03", Text: "How many halos have a particle count (fof_halo_count) above 500 at timestep 624 in simulation 1?",
+			Analysis: Easy, Semantic: Easy},
+		{ID: "q04", Text: "What is the median star formation rate (gal_sfr) of galaxies in simulation 0 at each time step? Please plot it.",
+			Analysis: Easy, Semantic: Easy, MultiStep: true, WantsViz: true},
+		{ID: "q05", Text: "What is the total halo mass (sum of fof_halo_mass) in each simulation at timestep 624?",
+			Analysis: Easy, Semantic: Easy, MultiSim: true},
+		{ID: "q06", Text: "What is the average velocity dispersion (fof_halo_vel_disp) of halos in simulation 0 at each time step? Plot the evolution.",
+			Analysis: Easy, Semantic: Easy, MultiStep: true, WantsViz: true},
+
+		// --- analysis medium / semantic easy (1) ---
+		{ID: "q07", Text: "Please find the largest 100 galaxies and 100 halos at timestep 498 in simulation 0. I would like to plot all of them in Paraview and also see how well aligned those galaxies and halos are to each other.",
+			Analysis: Medium, Semantic: Easy, WantsViz: true},
+
+		// --- analysis hard / semantic easy (1) ---
+		{ID: "q08", Text: "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.",
+			Analysis: Hard, Semantic: Easy, MultiSim: true, MultiStep: true, WantsViz: true},
+
+		// --- analysis medium / semantic medium (2) ---
+		{ID: "q09", Text: "I would like to find the most unique halos in simulation 0 at timestep 498. Using velocity, mass, and kinetic energy of the halos, generate an 'interestingness' score and plot the top 1000 halos as a UMAP plot, highlighting the top 20 halos in simulation 0 that are the most interesting.",
+			Analysis: Medium, Semantic: Medium, WantsViz: true},
+		{ID: "q10", Text: "Compute the correlation matrix between fof_halo_count, fof_halo_mass, fof_halo_vel_disp and fof_halo_ke for halos at timestep 624 in simulation 1.",
+			Analysis: Medium, Semantic: Medium},
+
+		// --- analysis hard / semantic medium (3) ---
+		{ID: "q11", Text: "How does the slope and normalization of the gas-mass fraction-mass relation (sod_halo_MGas500c/sod_halo_M500c) evolve from the earliest timestep to the latest timestep in simulation 0?",
+			Analysis: Hard, Semantic: Medium, MultiStep: true, WantsViz: true},
+		{ID: "q12", Text: "How does the slope of the relation between gal_stellar_mass and gal_gas_mass evolve from the earliest timestep to the latest timestep in simulation 1? Plot the slope over time.",
+			Analysis: Hard, Semantic: Medium, MultiStep: true, WantsViz: true},
+		{ID: "q13", Text: "At timestep 624, what are the slope and normalization of the gas-mass fraction-mass relation (sod_halo_MGas500c/sod_halo_M500c) in each simulation, and how do they differ across all simulations? Plot the comparison.",
+			Analysis: Hard, Semantic: Medium, MultiSim: true, WantsViz: true},
+
+		// --- analysis medium / semantic hard (3) ---
+		{ID: "q14", Text: "First find the two largest halos by their halo count in timestep 624 of simulation 0. Then find the top 10 galaxies associated to those two halos (related by fof_halo_tag). What are the differences in characteristics of the two groups of galaxies? For example, differences in gas-mass, mass, or kinetic energy?",
+			Analysis: Medium, Semantic: Hard},
+		{ID: "q15", Text: "Find the most unique halos at timestep 624 in simulation 1: using velocity dispersion, mass and kinetic energy, score how atypical each halo is and plot the top 50 as a UMAP plot highlighting the top 10.",
+			Analysis: Medium, Semantic: Hard, WantsViz: true},
+		{ID: "q16", Text: "At timestep 624, which simulation shows the tightest correlation in the relation between fof_halo_mass and fof_halo_vel_disp? Report the intrinsic scatter for each simulation.",
+			Analysis: Medium, Semantic: Hard, MultiSim: true},
+
+		// --- analysis hard / semantic hard (4) ---
+		{ID: "q17", Text: "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?",
+			Analysis: Hard, Semantic: Hard, MultiSim: true, WantsViz: true},
+		{ID: "q18", Text: "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624? Also plot a summary of the differences in halo characteristics between the two simulations.",
+			Analysis: Hard, Semantic: Hard, MultiSim: true, WantsViz: true},
+		{ID: "q19", Text: "How does the intrinsic scatter of the stellar-to-halo mass (SMHM) relation evolve across all timesteps in simulation 0, and at which timestep is the correlation tightest? Plot the evolution.",
+			Analysis: Hard, Semantic: Hard, MultiStep: true, WantsViz: true},
+		{ID: "q20", Text: "Make an inference on the direction of the FSN and TAGN parameters with respect to the halo characteristics of the 100 largest halos across all timesteps and all simulations, and plot a summary of the differences in halo characteristics.",
+			Analysis: Hard, Semantic: Hard, MultiSim: true, MultiStep: true, WantsViz: true},
+	}
+}
+
+// CountBy tallies the bank along one labelling axis; used by the Table 1
+// regeneration bench and the bank's own consistency tests.
+func CountBy(qs []Question, axis func(Question) Difficulty) map[Difficulty]int {
+	out := map[Difficulty]int{}
+	for _, q := range qs {
+		out[axis(q)]++
+	}
+	return out
+}

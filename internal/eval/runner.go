@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"infera/internal/agent"
+	"infera/internal/core"
+	"infera/internal/llm"
+)
+
+// RunRecord is the outcome of one evaluated run.
+type RunRecord struct {
+	Question     Question
+	Rep          int
+	Completed    bool    // finished without failure (reliability)
+	Completeness float64 // fraction of planned tasks completed
+	Tokens       int
+	StorageBytes int64 // staging DB + provenance artifacts
+	Duration     time.Duration
+	Redo         int // QA-requested regenerations
+	PlanSteps    int
+	Strategy     int // ambiguous-question strategy chosen (-1 otherwise)
+	Judgment     Judgment
+}
+
+// Config drives an evaluation campaign.
+type Config struct {
+	EnsembleDir string
+	Questions   []Question // default Bank()
+	Reps        int        // runs per question (paper: 10)
+	Seed        int64
+	Sim         llm.SimConfig // base model config; seed varies per run
+	TrimHistory bool
+	Feedback    bool // enable the scripted human-in-the-loop hinter
+	// Workers sets the number of runs executed concurrently (the paper's
+	// "parallelized workflow execution" future work); <=1 runs serially.
+	Workers int
+	Logf    func(format string, args ...any)
+}
+
+// Run executes the evaluation campaign: Reps runs of every question, each
+// with a fresh model seed and isolated working directory, judged by the
+// rule-based assessor.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 10
+	}
+	qs := cfg.Questions
+	if qs == nil {
+		qs = Bank()
+	}
+	rep := &Report{Reps: cfg.Reps}
+	type job struct {
+		q     Question
+		qi, r int
+	}
+	var jobs []job
+	for qi, q := range qs {
+		for r := 0; r < cfg.Reps; r++ {
+			jobs = append(jobs, job{q, qi, r})
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	records := make([]RunRecord, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				rec, err := runOne(cfg, j.q, j.qi, j.r)
+				records[i], errs[i] = rec, err
+				if err == nil && cfg.Logf != nil {
+					cfg.Logf("%s rep %d: completed=%v data=%v viz=%v tokens=%d redo=%d",
+						j.q.ID, j.r, rec.Completed, rec.Judgment.DataSatisfactory, rec.Judgment.VizSatisfactory, rec.Tokens, rec.Redo)
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Records = records
+	return rep, nil
+}
+
+func runOne(cfg Config, q Question, qi, r int) (RunRecord, error) {
+	workDir, err := os.MkdirTemp("", "infera-eval-*")
+	if err != nil {
+		return RunRecord{}, err
+	}
+	defer os.RemoveAll(workDir)
+
+	sim := cfg.Sim
+	sim.Seed = cfg.Seed + int64(qi)*1000 + int64(r)
+	acfg := core.Config{
+		EnsembleDir: cfg.EnsembleDir,
+		WorkDir:     workDir,
+		Model:       llm.NewSim(sim),
+		TrimHistory: cfg.TrimHistory,
+	}
+	if cfg.Feedback {
+		acfg.Feedback = hinter{}
+	}
+	assistant, err := core.New(acfg)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	defer assistant.Close()
+
+	ans, askErr := assistant.Ask(q.Text)
+	if ans == nil {
+		return RunRecord{}, fmt.Errorf("eval: %s rep %d: %w", q.ID, r, askErr)
+	}
+	session, err := assistant.Store().OpenSession(ans.SessionID)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	j := Judge(ans, session)
+	return RunRecord{
+		Question:     q,
+		Rep:          r,
+		Completed:    !ans.State.Failed && ans.State.Done,
+		Completeness: ans.TaskCompleteness(),
+		Tokens:       ans.State.Usage.Total(),
+		StorageBytes: ans.DBBytes + ans.ProvenanceBytes,
+		Duration:     ans.Duration,
+		Redo:         ans.State.RedoCount,
+		PlanSteps:    len(ans.State.Plan.Steps),
+		Strategy:     ans.State.Strategy,
+		Judgment:     j,
+	}, nil
+}
+
+// hinter is the scripted human of §4.2.2.
+type hinter = agent.AutoHinter

@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report holds all run records plus the aggregation logic producing the
+// paper's Table 2.
+type Report struct {
+	Reps    int
+	Records []RunRecord
+}
+
+// Row is one aggregated line of Table 2.
+type Row struct {
+	Group     string  // section label
+	Label     string  // row label
+	Questions int     // distinct questions in the category
+	Runs      int     // total runs aggregated
+	SatData   float64 // % satisfactory data outcomes
+	SatViz    float64 // % satisfactory visualization outcomes (viz-applicable runs)
+	Completed float64 // % of runs completing without failure
+	Complete  float64 // average % of planned tasks completed
+	Tokens    float64 // average token usage
+	StorageMB float64 // average storage overhead in MB
+	TimeSec   float64 // average runtime in seconds
+	Redo      float64 // average QA redo iterations
+}
+
+func (rep *Report) aggregate(group, label string, match func(RunRecord) bool) Row {
+	row := Row{Group: group, Label: label}
+	qset := map[string]bool{}
+	var vizRuns, vizOK int
+	for _, r := range rep.Records {
+		if !match(r) {
+			continue
+		}
+		row.Runs++
+		qset[r.Question.ID] = true
+		if r.Judgment.DataSatisfactory {
+			row.SatData++
+		}
+		if r.Judgment.VizApplicable {
+			vizRuns++
+			if r.Judgment.VizSatisfactory {
+				vizOK++
+			}
+		}
+		if r.Completed {
+			row.Completed++
+		}
+		row.Complete += r.Completeness
+		row.Tokens += float64(r.Tokens)
+		row.StorageMB += float64(r.StorageBytes) / 1e6
+		row.TimeSec += r.Duration.Seconds()
+		row.Redo += float64(r.Redo)
+	}
+	row.Questions = len(qset)
+	if row.Runs == 0 {
+		return row
+	}
+	n := float64(row.Runs)
+	row.SatData = 100 * row.SatData / n
+	if vizRuns > 0 {
+		row.SatViz = 100 * float64(vizOK) / float64(vizRuns)
+	}
+	row.Completed = 100 * row.Completed / n
+	row.Complete = 100 * row.Complete / n
+	row.Tokens /= n
+	row.StorageMB /= n
+	row.TimeSec /= n
+	row.Redo /= n
+	return row
+}
+
+// Rows computes every Table 2 row: by analysis difficulty, by semantic
+// complexity, by sim/timestep span, the total, and the success split.
+func (rep *Report) Rows() []Row {
+	var rows []Row
+	for _, d := range []Difficulty{Easy, Medium, Hard} {
+		d := d
+		rows = append(rows, rep.aggregate("Analysis Difficulty", titled(d),
+			func(r RunRecord) bool { return r.Question.Analysis == d }))
+	}
+	for _, d := range []Difficulty{Easy, Medium, Hard} {
+		d := d
+		rows = append(rows, rep.aggregate("Semantic Complexity", titled(d),
+			func(r RunRecord) bool { return r.Question.Semantic == d }))
+	}
+	spans := []struct {
+		label               string
+		multiSim, multiStep bool
+	}{
+		{"Single sim / Single step", false, false},
+		{"Single sim / Multi step", false, true},
+		{"Multi sim / Single step", true, false},
+		{"Multi sim / Multi step", true, true},
+	}
+	for _, s := range spans {
+		s := s
+		rows = append(rows, rep.aggregate("# Simulation x Timestep", s.label,
+			func(r RunRecord) bool {
+				return r.Question.MultiSim == s.multiSim && r.Question.MultiStep == s.multiStep
+			}))
+	}
+	rows = append(rows, rep.aggregate("Overall", "Total", func(RunRecord) bool { return true }))
+	rows = append(rows, rep.aggregate("Overall", "Successful runs", func(r RunRecord) bool { return r.Completed }))
+	rows = append(rows, rep.aggregate("Overall", "Unsuccessful runs", func(r RunRecord) bool { return !r.Completed }))
+	return rows
+}
+
+// Total returns the all-runs aggregate row.
+func (rep *Report) Total() Row {
+	return rep.aggregate("Overall", "Total", func(RunRecord) bool { return true })
+}
+
+func titled(d Difficulty) string {
+	return strings.ToUpper(string(d[0])) + string(d[1:])
+}
+
+// Format renders the rows in the layout of the paper's Table 2.
+func (rep *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Performance evaluation across %d runs (%d questions, %d runs each)\n\n",
+		len(rep.Records), len(rep.Records)/max(1, rep.Reps), rep.Reps)
+	fmt.Fprintf(&sb, "%-24s %-26s %5s  %7s %7s %9s %9s %9s %9s %7s %6s\n",
+		"", "Difficulty (count)", "", "%SatDat", "%SatVis", "%RunsCompl", "%Complete", "Tokens", "Storage", "Time", "Redo")
+	lastGroup := ""
+	for _, row := range rep.Rows() {
+		group := row.Group
+		if group == lastGroup {
+			group = ""
+		} else {
+			lastGroup = row.Group
+		}
+		fmt.Fprintf(&sb, "%-24s %-26s (%2d)  %6.0f%% %6.0f%% %8.0f%% %8.0f%% %9.0f %7.2fMB %6.2fs %6.2f\n",
+			group, row.Label, row.Questions,
+			row.SatData, row.SatViz, row.Completed, row.Complete,
+			row.Tokens, row.StorageMB, row.TimeSec, row.Redo)
+	}
+	return sb.String()
+}
+
+// FormatTable1 renders the difficulty matrix (Table 1): question counts and
+// representative texts per (analysis, semantic) cell.
+func FormatTable1(qs []Question) string {
+	var sb strings.Builder
+	sb.WriteString("Difficulty matrix (analysis difficulty x semantic complexity)\n\n")
+	levels := []Difficulty{Easy, Medium, Hard}
+	fmt.Fprintf(&sb, "%-10s", "sem\\ana")
+	for _, a := range levels {
+		fmt.Fprintf(&sb, " %-8s", titled(a))
+	}
+	sb.WriteString("\n")
+	for _, s := range levels {
+		fmt.Fprintf(&sb, "%-10s", titled(s))
+		for _, a := range levels {
+			n := 0
+			for _, q := range qs {
+				if q.Analysis == a && q.Semantic == s {
+					n++
+				}
+			}
+			if n == 0 {
+				fmt.Fprintf(&sb, " %-8s", "n/a")
+			} else {
+				fmt.Fprintf(&sb, " %-8d", n)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\nRepresentative questions:\n")
+	seen := map[string]bool{}
+	for _, q := range qs {
+		key := string(q.Analysis) + "/" + string(q.Semantic)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		text := q.Text
+		if len(text) > 110 {
+			text = text[:107] + "..."
+		}
+		fmt.Fprintf(&sb, "  [%s analysis / %s semantic] %s\n", q.Analysis, q.Semantic, text)
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

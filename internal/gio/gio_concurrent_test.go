@@ -1,0 +1,106 @@
+package gio
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"infera/internal/dataframe"
+)
+
+// Concurrent readers over one file: ReadAt-based block access means many
+// goroutines can pull different columns from the same reader-per-goroutine
+// without coordination — the access pattern of parallel evaluation runs.
+func TestConcurrentReaders(t *testing.T) {
+	f := dataframe.MustFromColumns(
+		dataframe.NewInt("a", []int64{1, 2, 3, 4, 5, 6, 7, 8}),
+		dataframe.NewFloat("b", []float64{1, 2, 3, 4, 5, 6, 7, 8}),
+		dataframe.NewString("c", []string{"x", "y", "z", "w", "x", "y", "z", "w"}),
+	)
+	path := filepath.Join(t.TempDir(), "shared.gio")
+	if err := WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := Open(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer r.Close()
+			col := []string{"a", "b", "c"}[i%3]
+			got, err := r.ReadColumns(col)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.NumRows() != 8 {
+				errs <- &dataframe.ColumnError{Name: "rows"}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// A single reader serving multiple sequential selections accumulates
+// BytesRead correctly.
+func TestBytesReadAccumulates(t *testing.T) {
+	f := dataframe.MustFromColumns(
+		dataframe.NewFloat("a", make([]float64, 100)),
+		dataframe.NewFloat("b", make([]float64, 100)),
+	)
+	path := filepath.Join(t.TempDir(), "acc.gio")
+	if err := WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadColumns("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BytesRead(); got != 800 {
+		t.Errorf("after one column: %d", got)
+	}
+	if _, err := r.ReadColumns("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BytesRead(); got != 800+1600 {
+		t.Errorf("after three blocks: %d", got)
+	}
+}
+
+// Zero-row frames round-trip.
+func TestEmptyFrameRoundTrip(t *testing.T) {
+	f := dataframe.MustFromColumns(
+		dataframe.NewInt("a", nil),
+		dataframe.NewString("s", nil),
+	)
+	path := filepath.Join(t.TempDir(), "empty.gio")
+	if err := WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	back, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 || back.NumCols() != 2 {
+		t.Errorf("shape = %dx%d", back.NumRows(), back.NumCols())
+	}
+}

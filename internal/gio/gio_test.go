@@ -1,0 +1,203 @@
+package gio
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"infera/internal/dataframe"
+)
+
+func writeSample(t *testing.T) (string, *dataframe.Frame) {
+	t.Helper()
+	f := dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", []int64{1, 2, 3, 4}),
+		dataframe.NewFloat("fof_halo_mass", []float64{1.25, math.NaN(), -3.5, 1e12}),
+		dataframe.NewString("label", []string{"a", "", "ccc", "dd"}),
+	)
+	path := filepath.Join(t.TempDir(), "halos.gio")
+	if err := WriteFile(path, f, map[string]string{"sim": "0", "step": "498"}); err != nil {
+		t.Fatal(err)
+	}
+	return path, f
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, f := writeSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumRows() != 4 {
+		t.Errorf("NumRows = %d", r.NumRows())
+	}
+	if got := r.Meta()["step"]; got != "498" {
+		t.Errorf("meta step = %q", got)
+	}
+	back, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataframe.Equal(f, back) {
+		t.Errorf("round trip mismatch:\n%v\nvs\n%v", f, back)
+	}
+}
+
+func TestSelectiveReadCostsLessIO(t *testing.T) {
+	// A wide file: reading one column must touch only that column's block.
+	cols := make([]*dataframe.Column, 0, 20)
+	n := 1000
+	for i := 0; i < 20; i++ {
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = float64(i*n + j)
+		}
+		cols = append(cols, dataframe.NewFloat(colName(i), vals))
+	}
+	f := dataframe.MustFromColumns(cols...)
+	path := filepath.Join(t.TempDir(), "wide.gio")
+	if err := WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	one, err := r.ReadColumns(colName(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumCols() != 1 || one.NumRows() != n {
+		t.Fatalf("selective read shape = %dx%d", one.NumRows(), one.NumCols())
+	}
+	wantBlock := int64(8 * n)
+	if r.BytesRead() != wantBlock {
+		t.Errorf("BytesRead = %d, want exactly one block %d", r.BytesRead(), wantBlock)
+	}
+	if r.Size() < 20*wantBlock {
+		t.Errorf("file size %d suspiciously small", r.Size())
+	}
+}
+
+func colName(i int) string { return "col_" + string(rune('a'+i)) }
+
+func TestMissingColumn(t *testing.T) {
+	path, _ := writeSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.ReadColumns("halo_mass")
+	if err == nil || !strings.Contains(err.Error(), "KeyError") {
+		t.Errorf("want KeyError-shaped error, got %v", err)
+	}
+	if r.Has("halo_mass") || !r.Has("fof_halo_mass") {
+		t.Error("Has() wrong")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path, _ := writeSample(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte near the end (inside the last data block).
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadColumns("label"); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("want CRC error, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gio")
+	if err := os.WriteFile(path, []byte("not a gio file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("bad magic should fail to open")
+	}
+}
+
+func TestColumnNamesAndInfo(t *testing.T) {
+	path, _ := writeSample(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := []string{"fof_halo_tag", "fof_halo_mass", "label"}
+	if got := r.ColumnNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ColumnNames = %v", got)
+	}
+	infos := r.Columns()
+	if len(infos) != 3 || infos[1].Kind != dataframe.Float || infos[0].Size != 32 {
+		t.Errorf("Columns() = %+v", infos)
+	}
+	// Offsets must be contiguous and inside the file.
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Offset != infos[i-1].Offset+infos[i-1].Size {
+			t.Errorf("block %d not contiguous", i)
+		}
+	}
+	last := infos[len(infos)-1]
+	if last.Offset+last.Size != r.Size() {
+		t.Errorf("blocks do not end at file end: %d vs %d", last.Offset+last.Size, r.Size())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	prop := func(seed int64, n uint8) bool {
+		i++
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(n%100) + 1
+		fv := make([]float64, rows)
+		iv := make([]int64, rows)
+		sv := make([]string, rows)
+		for j := 0; j < rows; j++ {
+			fv[j] = rng.NormFloat64()
+			iv[j] = rng.Int63() - rng.Int63()
+			sv[j] = strings.Repeat("x", rng.Intn(10))
+		}
+		f := dataframe.MustFromColumns(
+			dataframe.NewFloat("f", fv),
+			dataframe.NewInt("i", iv),
+			dataframe.NewString("s", sv),
+		)
+		path := filepath.Join(dir, "q"+string(rune('0'+i%10))+".gio")
+		if err := WriteFile(path, f, nil); err != nil {
+			return false
+		}
+		r, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		back, err := r.ReadAll()
+		if err != nil {
+			return false
+		}
+		return dataframe.Equal(f, back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

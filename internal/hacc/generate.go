@@ -1,0 +1,443 @@
+package hacc
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"infera/internal/dataframe"
+	"infera/internal/gio"
+)
+
+// File type names, mirroring HACC data product families.
+const (
+	FileHalos      = "haloproperties"
+	FileGalaxies   = "galaxyproperties"
+	FileParticles  = "particles"
+	FileCores      = "coreproperties"
+	FileMergerTree = "mergertree"
+)
+
+// FileTypes lists the per-snapshot file types (the merger tree is per run).
+var FileTypes = []string{FileHalos, FileGalaxies, FileParticles, FileCores}
+
+// HaloFrame builds the haloproperties snapshot of one run at one step.
+func (m *runModel) HaloFrame(step int) *dataframe.Frame {
+	var (
+		tags, counts               []int64
+		mass, x, y, z, vx, vy, vz  []float64
+		vd, ke, m500, r500, mg, cd []float64
+	)
+	for i := range m.halos {
+		if !m.aliveAt(i, step) {
+			continue
+		}
+		h := &m.halos[i]
+		hm := m.massAt(i, step)
+		px, py, pz := m.positionAt(i, step)
+		sigma := velDisp(hm, h.tag, step)
+		m5 := 0.72 * hm * (1 + 0.03*normal(uint64(h.tag), uint64(step), '5'))
+		tags = append(tags, h.tag)
+		counts = append(counts, int64(math.Max(10, math.Round(hm/particleMass))))
+		mass = append(mass, hm)
+		x = append(x, px)
+		y = append(y, py)
+		z = append(z, pz)
+		vx = append(vx, h.vx)
+		vy = append(vy, h.vy)
+		vz = append(vz, h.vz)
+		vd = append(vd, sigma)
+		ke = append(ke, 1.5*hm*sigma*sigma)
+		m500 = append(m500, m5)
+		r500 = append(r500, 0.62*math.Pow(m5/1e14, 1.0/3.0))
+		mg = append(mg, gasFraction(m5, step, m.params)*m5)
+		cd = append(cd, h.conc)
+	}
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", tags),
+		dataframe.NewInt("fof_halo_count", counts),
+		dataframe.NewFloat("fof_halo_mass", mass),
+		dataframe.NewFloat("fof_halo_center_x", x),
+		dataframe.NewFloat("fof_halo_center_y", y),
+		dataframe.NewFloat("fof_halo_center_z", z),
+		dataframe.NewFloat("fof_halo_mean_vx", vx),
+		dataframe.NewFloat("fof_halo_mean_vy", vy),
+		dataframe.NewFloat("fof_halo_mean_vz", vz),
+		dataframe.NewFloat("fof_halo_vel_disp", vd),
+		dataframe.NewFloat("fof_halo_ke", ke),
+		dataframe.NewFloat("sod_halo_M500c", m500),
+		dataframe.NewFloat("sod_halo_R500c", r500),
+		dataframe.NewFloat("sod_halo_MGas500c", mg),
+		dataframe.NewFloat("sod_halo_cdelta", cd),
+	)
+}
+
+// GalaxyFrame builds the galaxyproperties snapshot: one central galaxy per
+// surviving halo plus its satellites.
+func (m *runModel) GalaxyFrame(step int) *dataframe.Frame {
+	var (
+		gtags, htags, central          []int64
+		mstar, mgas, sfr, bh           []float64
+		gx, gy, gz, gvx, gvy, gvz, gke []float64
+	)
+	p := m.params
+	z := Redshift(step)
+	vsnSupp := 1 - 0.5*(p.LogVSN-paramLo.LogVSN)/(paramHi.LogVSN-paramLo.LogVSN)
+	for i := range m.halos {
+		if !m.aliveAt(i, step) {
+			continue
+		}
+		h := &m.halos[i]
+		hm := m.massAt(i, step)
+		cx, cy, cz := m.positionAt(i, step)
+		sigma := velDisp(hm, h.tag, step)
+		rad := r200(hm)
+		csm := m.centralStellarMass(hm, h.tag, step)
+		for g := 0; g <= h.nSat; g++ {
+			gt := uint64(h.tag)<<8 | uint64(g)
+			ms := csm
+			isCentral := int64(1)
+			dx, dy, dz := 0.0, 0.0, 0.0
+			if g > 0 {
+				isCentral = 0
+				ms = csm * 0.25 * math.Pow(uniform01(gt, 's'), 1.5)
+				r := rad * math.Pow(uniform01(gt, 'r'), 0.7)
+				theta := math.Acos(2*uniform01(gt, 't') - 1)
+				phi := 2 * math.Pi * uniform01(gt, 'p')
+				dx = r * math.Sin(theta) * math.Cos(phi)
+				dy = r * math.Sin(theta) * math.Sin(phi)
+				dz = r * math.Cos(theta)
+			}
+			gasFrac := 0.4 * math.Sqrt(1+z) * vsnSupp *
+				math.Exp(0.1*normal(gt, uint64(step), 'G'))
+			gm := ms * gasFrac
+			rate := ms * 1e-10 * math.Pow(1+z, 1.8) * math.Exp(0.3*normal(gt, uint64(step), 'F'))
+			bhm := p.MSeed + 1.5e-3*ms*math.Pow(ms/1e10+1, 0.25*p.BetaBH)
+			vgx := h.vx + sigma*normal(gt, 'a')
+			vgy := h.vy + sigma*normal(gt, 'b')
+			vgz := h.vz + sigma*normal(gt, 'c')
+			gtags = append(gtags, int64(gt))
+			htags = append(htags, h.tag)
+			central = append(central, isCentral)
+			mstar = append(mstar, ms)
+			mgas = append(mgas, gm)
+			sfr = append(sfr, rate)
+			bh = append(bh, bhm)
+			gx = append(gx, cx+dx)
+			gy = append(gy, cy+dy)
+			gz = append(gz, cz+dz)
+			gvx = append(gvx, vgx)
+			gvy = append(gvy, vgy)
+			gvz = append(gvz, vgz)
+			gke = append(gke, 0.5*(ms+gm)*(vgx*vgx+vgy*vgy+vgz*vgz))
+		}
+	}
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("gal_tag", gtags),
+		dataframe.NewInt("fof_halo_tag", htags),
+		dataframe.NewInt("gal_is_central", central),
+		dataframe.NewFloat("gal_stellar_mass", mstar),
+		dataframe.NewFloat("gal_gas_mass", mgas),
+		dataframe.NewFloat("gal_sfr", sfr),
+		dataframe.NewFloat("gal_bh_mass", bh),
+		dataframe.NewFloat("gal_x", gx),
+		dataframe.NewFloat("gal_y", gy),
+		dataframe.NewFloat("gal_z", gz),
+		dataframe.NewFloat("gal_vx", gvx),
+		dataframe.NewFloat("gal_vy", gvy),
+		dataframe.NewFloat("gal_vz", gvz),
+		dataframe.NewFloat("gal_kinetic_energy", gke),
+	)
+}
+
+// ParticleFrame builds a downsampled raw-particle snapshot: most particles
+// cluster around halos (mass-weighted toward the most massive ones), the
+// rest trace a uniform background.
+func (m *runModel) ParticleFrame(step int) *dataframe.Frame {
+	n := m.spec.ParticlesPerStep
+	alive := make([]int, 0, len(m.halos))
+	for i := range m.halos {
+		if m.aliveAt(i, step) {
+			alive = append(alive, i)
+		}
+	}
+	ids := make([]int64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	vz := make([]float64, n)
+	phi := make([]float64, n)
+	seed := uint64(m.spec.Seed)
+	r := uint64(m.run)
+	for k := 0; k < n; k++ {
+		pk := uint64(k)
+		ids[k] = int64(m.run)*1_000_000_000 + int64(k)
+		if uniform01(seed, r, pk, 'B') < 0.3 || len(alive) == 0 {
+			x[k] = uniform01(seed, r, pk, 'X') * m.spec.BoxSize
+			y[k] = uniform01(seed, r, pk, 'Y') * m.spec.BoxSize
+			z[k] = uniform01(seed, r, pk, 'Z') * m.spec.BoxSize
+			vx[k] = normal(seed, r, pk, 'U') * 120
+			vy[k] = normal(seed, r, pk, 'V') * 120
+			vz[k] = normal(seed, r, pk, 'W') * 120
+			phi[k] = -1e4 * uniform01(seed, r, pk, 'P')
+			continue
+		}
+		// Quadratic bias toward low index = high mass.
+		hi := alive[int(math.Pow(uniform01(seed, r, pk, 'H'), 2)*float64(len(alive)))]
+		hm := m.massAt(hi, step)
+		cx, cy, cz := m.positionAt(hi, step)
+		rad := r200(hm)
+		sigma := velDisp(hm, m.halos[hi].tag, step)
+		x[k] = cx + normal(seed, r, pk, 'X')*rad/2
+		y[k] = cy + normal(seed, r, pk, 'Y')*rad/2
+		z[k] = cz + normal(seed, r, pk, 'Z')*rad/2
+		vx[k] = m.halos[hi].vx + normal(seed, r, pk, 'U')*sigma
+		vy[k] = m.halos[hi].vy + normal(seed, r, pk, 'V')*sigma
+		vz[k] = m.halos[hi].vz + normal(seed, r, pk, 'W')*sigma
+		phi[k] = -1.5 * sigma * sigma
+	}
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("particle_id", ids),
+		dataframe.NewFloat("x", x),
+		dataframe.NewFloat("y", y),
+		dataframe.NewFloat("z", z),
+		dataframe.NewFloat("vx", vx),
+		dataframe.NewFloat("vy", vy),
+		dataframe.NewFloat("vz", vz),
+		dataframe.NewFloat("phi", phi),
+	)
+}
+
+// CoreFrame builds the coreproperties snapshot: a handful of core particles
+// per surviving halo tracking infall history.
+func (m *runModel) CoreFrame(step int) *dataframe.Frame {
+	var (
+		ctags, htags, infallStep []int64
+		x, y, z, radius, infallM []float64
+	)
+	for i := range m.halos {
+		if !m.aliveAt(i, step) {
+			continue
+		}
+		h := &m.halos[i]
+		hm := m.massAt(i, step)
+		cx, cy, cz := m.positionAt(i, step)
+		rad := r200(hm)
+		ncores := 1 + int(hm/5e13)
+		if ncores > 8 {
+			ncores = 8
+		}
+		for c := 0; c < ncores; c++ {
+			ck := uint64(h.tag)<<8 | uint64(c) | 0xC0DE<<32
+			ctags = append(ctags, int64(ck))
+			htags = append(htags, h.tag)
+			x = append(x, cx+normal(ck, '1')*rad/4)
+			y = append(y, cy+normal(ck, '2')*rad/4)
+			z = append(z, cz+normal(ck, '3')*rad/4)
+			radius = append(radius, 0.02+0.05*uniform01(ck, '4'))
+			infallM = append(infallM, hm*0.01*uniform01(ck, '5'))
+			infallStep = append(infallStep, int64(uniform01(ck, '6')*float64(step+1)))
+		}
+	}
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("core_tag", ctags),
+		dataframe.NewInt("fof_halo_tag", htags),
+		dataframe.NewFloat("core_x", x),
+		dataframe.NewFloat("core_y", y),
+		dataframe.NewFloat("core_z", z),
+		dataframe.NewFloat("core_radius", radius),
+		dataframe.NewFloat("core_infall_mass", infallM),
+		dataframe.NewInt("core_infall_step", infallStep),
+	)
+}
+
+// MergerTreeFrame builds the per-run merger tree table: each row records a
+// victim halo absorbed by a target halo at a step.
+func (m *runModel) MergerTreeFrame() *dataframe.Frame {
+	var victims, targets, steps []int64
+	for i := range m.halos {
+		h := &m.halos[i]
+		if h.mergeStep >= 0 {
+			victims = append(victims, h.tag)
+			targets = append(targets, m.halos[h.mergeInto].tag)
+			steps = append(steps, int64(h.mergeStep))
+		}
+	}
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("victim_tag", victims),
+		dataframe.NewInt("target_tag", targets),
+		dataframe.NewInt("merge_step", steps),
+	)
+}
+
+// Snapshot regenerates the frame for (run, step, fileType) directly from
+// the model without touching disk. It is the reference against which the
+// on-disk files are validated in tests.
+func Snapshot(spec Spec, run, step int, fileType string) (*dataframe.Frame, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if run < 0 || run >= spec.Runs {
+		return nil, fmt.Errorf("hacc: run %d out of range [0,%d)", run, spec.Runs)
+	}
+	m := newRunModel(spec, run)
+	switch fileType {
+	case FileHalos:
+		return m.HaloFrame(step), nil
+	case FileGalaxies:
+		return m.GalaxyFrame(step), nil
+	case FileParticles:
+		return m.ParticleFrame(step), nil
+	case FileCores:
+		return m.CoreFrame(step), nil
+	case FileMergerTree:
+		return m.MergerTreeFrame(), nil
+	default:
+		return nil, fmt.Errorf("hacc: unknown file type %q", fileType)
+	}
+}
+
+// RunParams returns the sub-grid parameter vector assigned to a run.
+func RunParams(spec Spec, run int) Params {
+	return SampleParams(spec.Seed, run, spec.Runs)
+}
+
+// Generate writes a full synthetic ensemble under dir and returns its
+// catalog. Layout (mirroring the HACC data portal structure):
+//
+//	dir/ensemble.json
+//	dir/sim_00/m000p.mergertree.gio
+//	dir/sim_00/step_0099/m000p-99.haloproperties.gio
+//	dir/sim_00/step_0099/m000p-99.galaxyproperties.gio
+//	...
+func Generate(dir string, spec Spec) (*Catalog, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cat := &Catalog{Dir: dir, Spec: spec}
+
+	// Runs are independent (every snapshot is a pure function of the run
+	// seed), so generate them in parallel, one worker per core, and stitch
+	// the catalog together in run order afterwards for determinism.
+	type runOutput struct {
+		info  RunInfo
+		files []FileEntry
+		err   error
+	}
+	outputs := make([]runOutput, spec.Runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > spec.Runs {
+		workers = spec.Runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				outputs[run] = generateRun(dir, spec, run)
+			}
+		}()
+	}
+	for run := 0; run < spec.Runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+
+	for run := 0; run < spec.Runs; run++ {
+		out := outputs[run]
+		if out.err != nil {
+			return nil, out.err
+		}
+		cat.Runs = append(cat.Runs, out.info)
+		cat.Files = append(cat.Files, out.files...)
+	}
+	if err := cat.save(); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// generateRun writes every file of one simulation run and returns its
+// catalog entries (paths relative to dir).
+func generateRun(dir string, spec Spec, run int) (out struct {
+	info  RunInfo
+	files []FileEntry
+	err   error
+}) {
+	m := newRunModel(spec, run)
+	runDir := filepath.Join(dir, fmt.Sprintf("sim_%02d", run))
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		out.err = err
+		return out
+	}
+	out.info = RunInfo{Index: run, Params: m.params, Dir: fmt.Sprintf("sim_%02d", run)}
+
+	record := func(step int, typ, path string, rows int) error {
+		var size int64
+		if st, err := os.Stat(path); err == nil {
+			size = st.Size()
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		out.files = append(out.files, FileEntry{Run: run, Step: step, Type: typ, Path: rel, Bytes: size, Rows: rows})
+		return nil
+	}
+
+	treePath := filepath.Join(runDir, "m000p.mergertree.gio")
+	tree := m.MergerTreeFrame()
+	if err := writeSnapshot(treePath, tree, run, -1, FileMergerTree); err != nil {
+		out.err = err
+		return out
+	}
+	if err := record(-1, FileMergerTree, treePath, tree.NumRows()); err != nil {
+		out.err = err
+		return out
+	}
+
+	for _, step := range spec.Steps {
+		stepDir := filepath.Join(runDir, fmt.Sprintf("step_%04d", step))
+		if err := os.MkdirAll(stepDir, 0o755); err != nil {
+			out.err = err
+			return out
+		}
+		frames := map[string]*dataframe.Frame{
+			FileHalos:     m.HaloFrame(step),
+			FileGalaxies:  m.GalaxyFrame(step),
+			FileParticles: m.ParticleFrame(step),
+			FileCores:     m.CoreFrame(step),
+		}
+		for _, typ := range FileTypes {
+			path := filepath.Join(stepDir, fmt.Sprintf("m000p-%d.%s.gio", step, typ))
+			if err := writeSnapshot(path, frames[typ], run, step, typ); err != nil {
+				out.err = err
+				return out
+			}
+			if err := record(step, typ, path, frames[typ].NumRows()); err != nil {
+				out.err = err
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func writeSnapshot(path string, f *dataframe.Frame, run, step int, typ string) error {
+	meta := map[string]string{
+		"simulation": fmt.Sprintf("%d", run),
+		"type":       typ,
+	}
+	if step >= 0 {
+		meta["step"] = fmt.Sprintf("%d", step)
+	}
+	return gio.WriteFile(path, f, meta)
+}

@@ -1,0 +1,113 @@
+package hacc
+
+// Metadata dictionaries (§3.1 of the paper): one describing the ensemble
+// file structure and one mapping terse column labels to context-rich
+// natural-language descriptions. In the paper these are LLM-generated and
+// expert-refined; here they are curated directly. They are the knowledge
+// base the RAG retriever chunks into per-column documents.
+
+// ColumnDoc is one column's dictionary entry.
+type ColumnDoc struct {
+	Column      string // exact column label
+	FileType    string // which file family carries it
+	Description string // context-rich natural-language description
+	Important   bool   // tagged "[IMPORTANT]" for the extra retrieval prompt
+}
+
+// FileDoc describes one file family of the ensemble.
+type FileDoc struct {
+	FileType    string
+	Description string
+}
+
+// FileDictionary returns the ensemble file-structure dictionary.
+func FileDictionary() []FileDoc {
+	return []FileDoc{
+		{FileHalos, "Per-snapshot friends-of-friends (FOF) dark matter halo catalog with spherical-overdensity (SOD) profile masses; one row per halo; keyed by fof_halo_tag; available for every simulation and timestep"},
+		{FileGalaxies, "Per-snapshot galaxy catalog produced by the hydrodynamics and sub-grid galaxy formation model; one row per galaxy; galaxies link to their host dark matter halo through fof_halo_tag"},
+		{FileParticles, "Downsampled raw particle snapshot with positions, velocities and gravitational potential; one row per particle; used for spatial and phase-space analyses"},
+		{FileCores, "Halo core particle catalog tracking the dense centers that survive mergers; one row per core; links to halos through fof_halo_tag"},
+		{FileMergerTree, "Per-run halo merger tree: rows record a victim halo absorbed by a target halo at a merge step; used by the halo tracking tool to follow halos across timesteps"},
+	}
+}
+
+// ColumnDictionary returns the column dictionary for every file family.
+func ColumnDictionary() []ColumnDoc {
+	return []ColumnDoc{
+		// haloproperties
+		{"fof_halo_tag", FileHalos, "unique identifier tag of the friends-of-friends dark matter halo, stable across timesteps of the same simulation, used to match halos between snapshots and to join galaxies to their host halo", true},
+		{"fof_halo_count", FileHalos, "number of N-body particles belonging to the friends-of-friends halo; a proxy for halo size and mass; the largest halos have the highest particle count", true},
+		{"fof_halo_mass", FileHalos, "total friends-of-friends halo mass in Msun/h summed over member particles; the primary halo mass measure", true},
+		{"fof_halo_center_x", FileHalos, "comoving x coordinate of the halo density center in Mpc/h within the periodic simulation box", false},
+		{"fof_halo_center_y", FileHalos, "comoving y coordinate of the halo density center in Mpc/h within the periodic simulation box", false},
+		{"fof_halo_center_z", FileHalos, "comoving z coordinate of the halo density center in Mpc/h within the periodic simulation box", false},
+		{"fof_halo_mean_vx", FileHalos, "mean peculiar velocity of halo member particles along x in km/s", false},
+		{"fof_halo_mean_vy", FileHalos, "mean peculiar velocity of halo member particles along y in km/s", false},
+		{"fof_halo_mean_vz", FileHalos, "mean peculiar velocity of halo member particles along z in km/s", false},
+		{"fof_halo_vel_disp", FileHalos, "one-dimensional velocity dispersion of halo member particles in km/s; measures the depth of the gravitational potential well", false},
+		{"fof_halo_ke", FileHalos, "total kinetic energy of the halo in Msun (km/s)^2 computed from member particle velocities", false},
+		{"sod_halo_M500c", FileHalos, "mass enclosed within the radius where the mean density is 500 times the critical density of the universe, in a spherical overdensity halo, in Msun/h", true},
+		{"sod_halo_R500c", FileHalos, "radius in Mpc/h enclosing a mean density of 500 times the critical density in the spherical overdensity profile", false},
+		{"sod_halo_MGas500c", FileHalos, "hot gas mass enclosed within the radius of density 500 times the critical density in a spherical overdensity halo, in Msun/h; the numerator of the gas-mass fraction", true},
+		{"sod_halo_cdelta", FileHalos, "NFW concentration parameter of the spherical overdensity density profile fit", false},
+		// galaxyproperties
+		{"gal_tag", FileGalaxies, "unique identifier tag of the galaxy within the simulation", true},
+		{"fof_halo_tag", FileGalaxies, "identifier tag of the friends-of-friends dark matter halo hosting this galaxy; join key to the halo catalog", true},
+		{"gal_is_central", FileGalaxies, "flag equal to 1 for the central galaxy of its host halo and 0 for satellite galaxies", false},
+		{"gal_stellar_mass", FileGalaxies, "stellar mass of the galaxy in Msun/h formed by the sub-grid star formation model; the numerator of the stellar-to-halo mass relation", true},
+		{"gal_gas_mass", FileGalaxies, "cold gas mass of the galaxy in Msun/h available for star formation, reduced by stellar feedback winds", true},
+		{"gal_sfr", FileGalaxies, "instantaneous star formation rate of the galaxy in Msun/yr", false},
+		{"gal_bh_mass", FileGalaxies, "mass of the central supermassive black hole in Msun/h grown from the AGN seed mass by density-boosted accretion", false},
+		{"gal_x", FileGalaxies, "comoving x coordinate of the galaxy in Mpc/h", false},
+		{"gal_y", FileGalaxies, "comoving y coordinate of the galaxy in Mpc/h", false},
+		{"gal_z", FileGalaxies, "comoving z coordinate of the galaxy in Mpc/h", false},
+		{"gal_vx", FileGalaxies, "peculiar velocity of the galaxy along x in km/s", false},
+		{"gal_vy", FileGalaxies, "peculiar velocity of the galaxy along y in km/s", false},
+		{"gal_vz", FileGalaxies, "peculiar velocity of the galaxy along z in km/s", false},
+		{"gal_kinetic_energy", FileGalaxies, "kinetic energy of the galaxy in Msun (km/s)^2 from its total baryonic mass and peculiar velocity", false},
+		// particles
+		{"particle_id", FileParticles, "unique identifier of the downsampled N-body particle, stable across timesteps", false},
+		{"x", FileParticles, "comoving x coordinate of the particle in Mpc/h", false},
+		{"y", FileParticles, "comoving y coordinate of the particle in Mpc/h", false},
+		{"z", FileParticles, "comoving z coordinate of the particle in Mpc/h", false},
+		{"vx", FileParticles, "peculiar velocity of the particle along x in km/s", false},
+		{"vy", FileParticles, "peculiar velocity of the particle along y in km/s", false},
+		{"vz", FileParticles, "peculiar velocity of the particle along z in km/s", false},
+		{"phi", FileParticles, "gravitational potential at the particle position in (km/s)^2", false},
+		// coreproperties
+		{"core_tag", FileCores, "unique identifier of the halo core particle", false},
+		{"fof_halo_tag", FileCores, "identifier tag of the friends-of-friends halo currently hosting this core; join key to the halo catalog", false},
+		{"core_x", FileCores, "comoving x coordinate of the core in Mpc/h", false},
+		{"core_y", FileCores, "comoving y coordinate of the core in Mpc/h", false},
+		{"core_z", FileCores, "comoving z coordinate of the core in Mpc/h", false},
+		{"core_radius", FileCores, "characteristic radius of the core in Mpc/h", false},
+		{"core_infall_mass", FileCores, "mass of the core's progenitor halo at infall in Msun/h", false},
+		{"core_infall_step", FileCores, "simulation timestep at which the core's progenitor fell into the current host", false},
+		// mergertree
+		{"victim_tag", FileMergerTree, "halo tag of the smaller halo that merges away and disappears from later snapshots", false},
+		{"target_tag", FileMergerTree, "halo tag of the larger halo that absorbs the victim and carries its mass forward", false},
+		{"merge_step", FileMergerTree, "simulation timestep at which the merger happens; the victim exists strictly before this step", false},
+	}
+}
+
+// ColumnsOf returns the exact column labels of a file family, in schema
+// order, derived from the dictionary.
+func ColumnsOf(fileType string) []string {
+	var out []string
+	for _, d := range ColumnDictionary() {
+		if d.FileType == fileType {
+			out = append(out, d.Column)
+		}
+	}
+	return out
+}
+
+// LookupColumn returns the dictionary entry for (fileType, column).
+func LookupColumn(fileType, column string) (ColumnDoc, bool) {
+	for _, d := range ColumnDictionary() {
+		if d.FileType == fileType && d.Column == column {
+			return d, true
+		}
+	}
+	return ColumnDoc{}, false
+}

@@ -1,0 +1,69 @@
+package hacc
+
+import "math"
+
+// Deterministic hash-based noise. Snapshot generation must be a pure
+// function of (run seed, halo tag, timestep) so that any step of any run
+// can be produced independently and reproducibly, in any order — mirroring
+// how a real simulation's outputs are fixed once written. A splitmix64
+// chain hashed over the identifying integers supplies uniform and normal
+// variates without any shared RNG state.
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash64 mixes an arbitrary number of integers into one 64-bit value.
+func hash64(parts ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return h
+}
+
+// uniform01 maps a hash to (0,1), excluding the exact endpoints.
+func uniform01(parts ...uint64) float64 {
+	h := hash64(parts...)
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// normal returns a standard normal variate derived from the inputs via
+// Box–Muller on two decorrelated uniforms.
+func normal(parts ...uint64) float64 {
+	u1 := uniform01(parts...)
+	u2 := uniform01(append(parts, 0x5eed)...)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// poisson returns a Poisson variate with mean lambda (Knuth's method for
+// small lambda, normal approximation above 30).
+func poisson(lambda float64, parts ...uint64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(lambda + math.Sqrt(lambda)*normal(parts...) + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= uniform01(append(parts, uint64(k)+1)...)
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

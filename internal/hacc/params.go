@@ -1,0 +1,126 @@
+package hacc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the five varied sub-grid physics parameters of the paper's
+// CRK-HACC hydrodynamics ensemble (§1): the stellar feedback energy
+// fraction fSN, the log of the stellar feedback kick velocity vSN, the log
+// of the AGN feedback temperature jump TAGN, the slope βBH controlling the
+// density-dependent boost to black-hole accretion, and the AGN seed mass
+// Mseed (Msun/h).
+type Params struct {
+	FSN     float64 `json:"f_sn"`      // stellar feedback energy fraction, [0.3, 1.0]
+	LogVSN  float64 `json:"log_v_sn"`  // log10 kick velocity [km/s], [2.0, 2.7]
+	LogTAGN float64 `json:"log_t_agn"` // log10 AGN temperature jump [K], [7.0, 8.0]
+	BetaBH  float64 `json:"beta_bh"`   // BH accretion density-boost slope, [0.0, 2.0]
+	MSeed   float64 `json:"m_seed"`    // AGN seed mass [Msun/h], [1e5, 1e6.5]
+}
+
+// String formats the parameter vector compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("fSN=%.3f logVSN=%.3f logTAGN=%.3f betaBH=%.3f Mseed=%.3g",
+		p.FSN, p.LogVSN, p.LogTAGN, p.BetaBH, p.MSeed)
+}
+
+// Parameter ranges for ensemble sampling.
+var paramLo = Params{FSN: 0.3, LogVSN: 2.0, LogTAGN: 7.0, BetaBH: 0.0, MSeed: 1e5}
+var paramHi = Params{FSN: 1.0, LogVSN: 2.7, LogTAGN: 8.0, BetaBH: 2.0, MSeed: 10 * math.Pow(10, 5.5)}
+
+// SampleParams draws the sub-grid parameter vector for run index run under
+// ensemble seed. A stratified (Latin-hypercube-like) rule spreads each
+// dimension across runs so small ensembles still span the ranges.
+func SampleParams(seed int64, run, totalRuns int) Params {
+	if totalRuns < 1 {
+		totalRuns = 1
+	}
+	dim := func(d uint64) float64 {
+		// Stratum for this run in dimension d, with jitter inside it, and a
+		// per-dimension permutation so dimensions decorrelate.
+		perm := int(hash64(uint64(seed), d, uint64(run)*0x9e37) % uint64(totalRuns))
+		stratum := (float64(run+perm) + uniform01(uint64(seed), d, uint64(run))) / float64(totalRuns)
+		return stratum - math.Floor(stratum)
+	}
+	lerp := func(lo, hi, t float64) float64 { return lo + (hi-lo)*t }
+	logMSeedLo := math.Log10(paramLo.MSeed)
+	logMSeedHi := math.Log10(paramHi.MSeed)
+	return Params{
+		FSN:     lerp(paramLo.FSN, paramHi.FSN, dim(1)),
+		LogVSN:  lerp(paramLo.LogVSN, paramHi.LogVSN, dim(2)),
+		LogTAGN: lerp(paramLo.LogTAGN, paramHi.LogTAGN, dim(3)),
+		BetaBH:  lerp(paramLo.BetaBH, paramHi.BetaBH, dim(4)),
+		MSeed:   math.Pow(10, lerp(logMSeedLo, logMSeedHi, dim(5))),
+	}
+}
+
+// Spec configures a synthetic ensemble. The defaults (see DefaultSpec) are
+// laptop-scale; the paper's ensemble (4 runs × 625 steps × 350 GB) maps to
+// the same layout with larger counts.
+type Spec struct {
+	Runs             int     `json:"runs"`               // number of simulation runs
+	Steps            []int   `json:"steps"`              // snapshot timestep numbers (subset of 0..624)
+	HalosPerRun      int     `json:"halos_per_run"`      // FOF halos at the final step
+	ParticlesPerStep int     `json:"particles_per_step"` // downsampled raw particles per snapshot
+	BoxSize          float64 `json:"box_size"`           // comoving box edge [Mpc/h]
+	Seed             int64   `json:"seed"`               // ensemble master seed
+}
+
+// FinalStep is the last snapshot number of a full HACC run in the paper.
+const FinalStep = 624
+
+// DefaultSpec returns a small ensemble suitable for tests and examples:
+// 4 runs, 8 snapshots ending at step 624, 300 halos per run.
+func DefaultSpec() Spec {
+	return Spec{
+		Runs:             4,
+		Steps:            StepRange(99, FinalStep, 75),
+		HalosPerRun:      300,
+		ParticlesPerStep: 2000,
+		BoxSize:          256,
+		Seed:             1,
+	}
+}
+
+// StepRange returns steps lo, lo+stride, ..., and always includes hi.
+func StepRange(lo, hi, stride int) []int {
+	var out []int
+	for s := lo; s < hi; s += stride {
+		out = append(out, s)
+	}
+	return append(out, hi)
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Runs < 1:
+		return fmt.Errorf("hacc: spec needs at least 1 run, got %d", s.Runs)
+	case len(s.Steps) == 0:
+		return fmt.Errorf("hacc: spec needs at least one timestep")
+	case s.HalosPerRun < 2:
+		return fmt.Errorf("hacc: spec needs at least 2 halos per run, got %d", s.HalosPerRun)
+	case s.BoxSize <= 0:
+		return fmt.Errorf("hacc: box size must be positive, got %g", s.BoxSize)
+	}
+	for i, st := range s.Steps {
+		if st < 0 || st > FinalStep {
+			return fmt.Errorf("hacc: step %d out of range [0,%d]", st, FinalStep)
+		}
+		if i > 0 && st <= s.Steps[i-1] {
+			return fmt.Errorf("hacc: steps must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// ScaleFactor maps a snapshot number to the cosmological scale factor a,
+// following HACC's convention of equal steps in a from a_init to 1.
+func ScaleFactor(step int) float64 {
+	const aInit = 1.0 / (1.0 + 200.0) // z = 200 at step 0
+	return aInit + (1.0-aInit)*float64(step+1)/float64(FinalStep+1)
+}
+
+// Redshift maps a snapshot number to redshift z = 1/a - 1.
+func Redshift(step int) float64 { return 1/ScaleFactor(step) - 1 }

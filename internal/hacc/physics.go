@@ -1,0 +1,234 @@
+package hacc
+
+import "math"
+
+// The synthetic physics model. It is not CRK-HACC, but every relation the
+// evaluation questions probe is causally present:
+//
+//   - halo masses follow a truncated power-law mass function and grow along
+//     smooth mass-accretion histories, punctuated by mergers recorded in a
+//     per-run merger tree (halo tags are stable across snapshots);
+//   - SOD gas masses follow a gas-mass-fraction–mass relation whose slope
+//     and normalization evolve with redshift and respond to log TAGN;
+//   - galaxy stellar masses follow a double-power-law SMHM relation whose
+//     efficiency saturates above a threshold AGN seed mass and whose
+//     intrinsic scatter is minimized near an optimal seed mass, and which
+//     responds to fSN (stellar feedback) and log TAGN;
+//   - galaxy gas masses respond to the kick velocity vSN, and black-hole
+//     masses respond to βBH and Mseed.
+//
+// All quantities are pure functions of (ensemble seed, run, halo tag,
+// step), so any snapshot can be regenerated independently.
+
+// Physical constants of the toy model.
+const (
+	particleMass = 2.2e9  // Msun/h per N-body particle
+	minHaloMass  = 1.0e12 // Msun/h at the final step
+	maxHaloMass  = 4.0e15 // Msun/h truncation
+	massFnSlope  = 1.15   // Pareto index of the mass function
+)
+
+type halo struct {
+	tag        int64
+	mFinal     float64 // z=0 mass budget, Msun/h
+	x0, y0, z0 float64
+	vx, vy, vz float64
+	conc       float64
+	nSat       int   // satellite galaxy count (fixed per halo)
+	mergeStep  int   // step at which this halo merges away; -1 if survivor
+	mergeInto  int   // index of the absorbing halo; -1 if survivor
+	absorbed   []int // indices of halos that merge into this one
+}
+
+// runModel holds the deterministic state of one simulation run.
+type runModel struct {
+	spec   Spec
+	run    int
+	params Params
+	halos  []halo
+}
+
+func newRunModel(spec Spec, run int) *runModel {
+	m := &runModel{spec: spec, run: run, params: SampleParams(spec.Seed, run, spec.Runs)}
+	seed := uint64(spec.Seed)
+	r := uint64(run)
+	n := spec.HalosPerRun
+
+	masses := make([]float64, n)
+	for i := range masses {
+		u := uniform01(seed, r, uint64(i), 'M')
+		mass := minHaloMass * math.Pow(u, -1.0/massFnSlope)
+		if mass > maxHaloMass {
+			mass = maxHaloMass
+		}
+		masses[i] = mass
+	}
+	// Rank halos by final mass so tag order is mass order (largest first),
+	// which makes "largest halo" questions stable and easy to verify.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort desc; n is modest
+		for j := i; j > 0 && masses[idx[j]] > masses[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+
+	m.halos = make([]halo, n)
+	for rank, orig := range idx {
+		tag := int64(run)*1_000_000 + int64(rank)
+		t := uint64(tag)
+		h := halo{
+			tag:       tag,
+			mFinal:    masses[orig],
+			x0:        uniform01(seed, t, 'x') * spec.BoxSize,
+			y0:        uniform01(seed, t, 'y') * spec.BoxSize,
+			z0:        uniform01(seed, t, 'z') * spec.BoxSize,
+			vx:        normal(seed, t, 'u') * 250,
+			vy:        normal(seed, t, 'v') * 250,
+			vz:        normal(seed, t, 'w') * 250,
+			conc:      5 + 3*uniform01(seed, t, 'c'),
+			mergeStep: -1,
+			mergeInto: -1,
+		}
+		h.nSat = poisson(h.mFinal/3.0e13, seed, t, 'g')
+		m.halos[rank] = h
+	}
+
+	// Mergers: ~12% of the smaller halos (bottom 80% by rank) merge into a
+	// larger halo at a mid-run step. Targets are always lower rank (more
+	// massive), so the tree is acyclic by construction.
+	for i := n / 5; i < n; i++ {
+		t := uint64(m.halos[i].tag)
+		if uniform01(seed, t, 'm') > 0.12 {
+			continue
+		}
+		target := int(uniform01(seed, t, 'T') * float64(i/2+1))
+		step := 150 + int(uniform01(seed, t, 'S')*300) // merge in [150, 450)
+		m.halos[i].mergeStep = step
+		m.halos[i].mergeInto = target
+		m.halos[target].absorbed = append(m.halos[target].absorbed, i)
+	}
+	return m
+}
+
+// aliveAt reports whether halo i exists as an independent FOF object at step.
+func (m *runModel) aliveAt(i, step int) bool {
+	h := &m.halos[i]
+	return h.mergeStep < 0 || step < h.mergeStep
+}
+
+// growth is the smooth mass-accretion history factor at scale factor a
+// (McBride-like exponential in redshift, equal to 1 at z=0).
+func growth(a float64) float64 {
+	z := 1/a - 1
+	return math.Exp(-1.2 * z)
+}
+
+// massAt returns halo i's FOF mass at step, including absorbed victims
+// after their merge steps.
+func (m *runModel) massAt(i, step int) float64 {
+	a := ScaleFactor(step)
+	g := growth(a)
+	h := &m.halos[i]
+	mass := h.mFinal * g
+	for _, v := range h.absorbed {
+		if step >= m.halos[v].mergeStep {
+			mass += m.halos[v].mFinal * g
+		}
+	}
+	return mass
+}
+
+// positionAt returns the comoving center of halo i at step with periodic
+// wrapping.
+func (m *runModel) positionAt(i, step int) (x, y, z float64) {
+	h := &m.halos[i]
+	// Drift by peculiar velocity; ~1 Mpc-scale motion across the run.
+	dt := ScaleFactor(step) - 1.0
+	const driftScale = 0.004 // Mpc per (km/s) over the full run
+	wrap := func(v float64) float64 {
+		v = math.Mod(v, m.spec.BoxSize)
+		if v < 0 {
+			v += m.spec.BoxSize
+		}
+		return v
+	}
+	return wrap(h.x0 + h.vx*dt*driftScale),
+		wrap(h.y0 + h.vy*dt*driftScale),
+		wrap(h.z0 + h.vz*dt*driftScale)
+}
+
+// velDisp returns the 1-D velocity dispersion [km/s] of a halo of mass m
+// (Evrard-like scaling) with per-(halo,step) log-normal scatter.
+func velDisp(mass float64, tag int64, step int) float64 {
+	base := 476 * math.Pow(mass/1e15, 1.0/3.0)
+	return base * math.Exp(0.04*normal(uint64(tag), uint64(step), 'd'))
+}
+
+// gasFraction returns the hot-gas mass fraction inside R500c. The slope of
+// the fgas–M relation steepens with log TAGN and with redshift, and its
+// normalization is suppressed by AGN feedback — the relation probed by the
+// paper's hard/medium question on slope and normalization evolution.
+func gasFraction(m500 float64, step int, p Params) float64 {
+	z := Redshift(step)
+	slope := 0.08 + 0.10*(p.LogTAGN-7.0) + 0.05*math.Min(z, 3)
+	norm := 0.16 * (1 - 0.25*(p.LogTAGN-7.0))
+	f := norm * math.Pow(m500/3e14, slope)
+	if f > 0.16 {
+		f = 0.16
+	}
+	return f
+}
+
+// smhmParams bundles the run-level SMHM controls derived from sub-grid
+// parameters.
+type smhmParams struct {
+	eps   float64 // efficiency normalization
+	sigma float64 // intrinsic log-normal scatter, dex
+	m1    float64 // characteristic halo mass
+	beta  float64 // low-mass slope
+	gamma float64 // high-mass slope
+}
+
+// smhmThresholdLogMSeed is the log10 seed mass above which stellar-mass
+// assembly efficiency saturates (the "threshold seed mass" of Table 1's
+// hard/hard question).
+const smhmThresholdLogMSeed = 5.5
+
+// smhmOptimalLogMSeed is the log10 seed mass minimizing SMHM scatter
+// ("tightest correlation").
+const smhmOptimalLogMSeed = 5.75
+
+func (m *runModel) smhm(step int) smhmParams {
+	p := m.params
+	z := Redshift(step)
+	logSeed := math.Log10(p.MSeed)
+	// Efficiency saturates above the threshold seed mass; stellar feedback
+	// (fSN) suppresses it; AGN temperature mildly suppresses it.
+	seedFactor := 0.65 + 0.35/(1+math.Exp(-6*(logSeed-smhmThresholdLogMSeed)))
+	fsnFactor := 1 - 0.45*(p.FSN-paramLo.FSN)/(paramHi.FSN-paramLo.FSN)
+	agnFactor := 1 - 0.20*(p.LogTAGN-7.0)
+	return smhmParams{
+		eps:   0.028 * seedFactor * fsnFactor * agnFactor * math.Pow(1+z, -0.35),
+		sigma: 0.12 + 0.10*math.Abs(logSeed-smhmOptimalLogMSeed),
+		m1:    1.1e12,
+		beta:  1.0,
+		gamma: 0.65,
+	}
+}
+
+// centralStellarMass returns the central galaxy stellar mass for a halo of
+// given mass at step, including the run's intrinsic scatter.
+func (m *runModel) centralStellarMass(haloMass float64, tag int64, step int) float64 {
+	s := m.smhm(step)
+	ratio := 2 * s.eps / (math.Pow(haloMass/s.m1, -s.beta) + math.Pow(haloMass/s.m1, s.gamma))
+	scatter := math.Exp(math.Ln10 * s.sigma * normal(uint64(tag), uint64(step), '*'))
+	return haloMass * ratio * scatter
+}
+
+// r200 approximates the halo virial radius [Mpc/h].
+func r200(mass float64) float64 {
+	return 1.0 * math.Pow(mass/1e14, 1.0/3.0)
+}

@@ -1,0 +1,164 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"infera/internal/hacc"
+)
+
+// Extended intent-parser coverage: phrasing variants, boundaries,
+// regressions for bugs found during evaluation bring-up.
+
+func TestWordMatchBoundaries(t *testing.T) {
+	cases := []struct {
+		text, word string
+		want       bool
+	}{
+		{"the matrix of values", "x", false},    // regression: "x" inside "matrix"
+		{"coordinate x of the halo", "x", true}, // standalone letter
+		{"fof_halo_count please", "fof_halo_count", true},
+		{"fof_halo_counter", "fof_halo_count", false}, // prefix of longer ident
+		{"a fof_halo_count", "fof_halo_count", true},
+		{"(fof_halo_count)", "fof_halo_count", true}, // parenthesized mention
+		{"xx", "x", false},
+		{"x", "x", true},
+	}
+	for _, c := range cases {
+		if got := wordMatch(c.text, c.word); got != c.want {
+			t.Errorf("wordMatch(%q, %q) = %v, want %v", c.text, c.word, got, c.want)
+		}
+	}
+}
+
+func TestIntentScopePhrasings(t *testing.T) {
+	cases := []struct {
+		q        string
+		allSims  bool
+		allSteps bool
+	}{
+		{"average mass across all simulations at timestep 624", true, false},
+		{"average mass across all the simulations at each time step", true, true},
+		{"how does halo mass evolve in simulation 0", false, true},
+		// Regression: "across all timesteps" must NOT imply all simulations.
+		{"intrinsic scatter across all timesteps in simulation 0", false, true},
+		{"for 32 simulations over time", true, true},
+		{"mass in every simulation at the final snapshot", true, false},
+	}
+	for _, c := range cases {
+		in := ParseIntent(c.q)
+		if in.AllSims != c.allSims || in.AllSteps != c.allSteps {
+			t.Errorf("ParseIntent(%q): allSims=%v allSteps=%v, want %v %v",
+				c.q, in.AllSims, in.AllSteps, c.allSims, c.allSteps)
+		}
+	}
+}
+
+func TestIntentNumbersAndThresholds(t *testing.T) {
+	in := ParseIntent("find the two largest halos by their halo count in timestep 624")
+	if in.TopN != 2 || in.RankBy != "fof_halo_count" {
+		t.Errorf("intent = %+v", in)
+	}
+	in = ParseIntent("How many halos have a particle count above 500 at timestep 624?")
+	if in.Aggregate != "count" || in.Threshold != 500 {
+		t.Errorf("intent = %+v", in)
+	}
+	in = ParseIntent("top fifty halos") // number word not in map for "top fifty "? it is
+	if in.TopN != 50 {
+		t.Errorf("fifty = %d", in.TopN)
+	}
+}
+
+func TestIntentEntitiesForcedByAnalysis(t *testing.T) {
+	// SMHM questions need both catalogs even when only "halo" words appear.
+	in := ParseIntent("slope of the stellar-to-halo mass relation at timestep 624")
+	if !containsStr(in.Entities, hacc.FileGalaxies) || !containsStr(in.Entities, hacc.FileHalos) {
+		t.Errorf("entities = %v", in.Entities)
+	}
+	// Galaxies-only question stays galaxies-only.
+	in = ParseIntent("median gal_sfr of galaxies at timestep 624")
+	if containsStr(in.Entities, hacc.FileHalos) {
+		t.Errorf("entities = %v", in.Entities)
+	}
+}
+
+func TestIntentRadiusAndPlotKinds(t *testing.T) {
+	in := ParseIntent("show halos within 20 Mpc of the target in Paraview")
+	if in.Radius != 20 || in.Analysis != "neighborhood" || in.Plot != "paraview" {
+		t.Errorf("intent = %+v", in)
+	}
+	in = ParseIntent("histogram of fof_halo_mass at timestep 624")
+	if in.Plot != "hist" || in.Analysis != "hist" {
+		t.Errorf("intent = %+v", in)
+	}
+	in = ParseIntent("plot the mass of halos at each time step in simulation 1")
+	if in.Plot != "line" {
+		t.Errorf("plot = %q", in.Plot)
+	}
+}
+
+func TestIntentDefaultsAreSane(t *testing.T) {
+	in := ParseIntent("tell me something about the data")
+	if len(in.Entities) == 0 || in.Analysis != "inspect" {
+		t.Errorf("fallback intent = %+v", in)
+	}
+	if in.RankBy == "" {
+		t.Error("rank column should default")
+	}
+}
+
+func TestPlanCoversEveryAnalysis(t *testing.T) {
+	analyses := map[string]bool{}
+	for _, q := range allQuestions {
+		in := ParseIntent(q)
+		plan := buildPlan(in)
+		analyses[in.Analysis] = true
+		if len(plan.Steps) < 3 {
+			t.Errorf("%s plan too short: %d", in.Analysis, len(plan.Steps))
+		}
+		if plan.Steps[0].Agent != AgentData || plan.Steps[1].Agent != AgentSQL {
+			t.Errorf("%s plan must start load->sql: %+v", in.Analysis, plan.Steps[:2])
+		}
+		// Intent rides along for downstream agents.
+		if plan.Intent.Question != q {
+			t.Errorf("%s plan lost its intent", in.Analysis)
+		}
+	}
+	if len(analyses) < 7 {
+		t.Errorf("representative questions cover only %d analyses", len(analyses))
+	}
+}
+
+func TestPlanStringNumbering(t *testing.T) {
+	plan := buildPlan(ParseIntent(qPrecise))
+	s := plan.String()
+	if !strings.Contains(s, "1. [dataloader]") || !strings.Contains(s, "2. [sql]") {
+		t.Errorf("plan rendering = %q", s)
+	}
+}
+
+func TestLocalSimConfigWeaker(t *testing.T) {
+	local := LocalSimConfig(1)
+	remote := SimConfig{Seed: 1}.withDefaults()
+	if local.ColumnErrorRate <= remote.ColumnErrorRate {
+		t.Error("local model should err more")
+	}
+	if local.Window >= remote.Window {
+		t.Error("local model should have a smaller window")
+	}
+	if local.RetryDecay <= remote.RetryDecay {
+		t.Error("local model should repair more slowly")
+	}
+}
+
+func TestScrambleDecorrelatesSeeds(t *testing.T) {
+	// Sequential seeds must produce diverse first strategy draws.
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		m := NewSim(SimConfig{Seed: seed})
+		seen[m.randN(3)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("first draws cover only %d of 3 values", len(seen))
+	}
+}

@@ -1,0 +1,87 @@
+// Package llm defines the language-model boundary of InferA and provides
+// SimModel, a deterministic seeded stand-in for the paper's GPT-4o.
+//
+// Agents talk to a Client exactly as they would to a hosted model: a string
+// prompt goes in (JSON payloads built by the agents' prompt templates), a
+// string completion comes out, and token usage is accounted from real token
+// counts on both sides. SimModel implements the skills the paper's agents
+// rely on — plan generation, SQL generation, analysis/visualization code
+// generation, quality scoring, summarization and plain chat — with
+// calibrated error injection (column-name corruption, wrong-tool selection)
+// so the QA repair loop, failure routing and difficulty gradients of the
+// evaluation are genuinely exercised rather than scripted.
+package llm
+
+import (
+	"fmt"
+
+	"infera/internal/rag"
+)
+
+// Skill names routed through Request.Skill.
+const (
+	SkillPlan    = "plan"
+	SkillSQL     = "sql"
+	SkillScript  = "script"
+	SkillViz     = "viz"
+	SkillQA      = "qa"
+	SkillSummary = "summary"
+	SkillChat    = "chat"
+)
+
+// Usage counts tokens for one or more calls.
+type Usage struct {
+	Prompt     int `json:"prompt"`
+	Completion int `json:"completion"`
+}
+
+// Total returns prompt + completion tokens.
+func (u Usage) Total() int { return u.Prompt + u.Completion }
+
+// Add accumulates v into u.
+func (u *Usage) Add(v Usage) {
+	u.Prompt += v.Prompt
+	u.Completion += v.Completion
+}
+
+// Request is one model invocation.
+type Request struct {
+	Agent  string // calling agent, for telemetry
+	Skill  string // which capability is being exercised
+	System string // system prompt (agent role + instructions)
+	Prompt string // user prompt; JSON payload for structured skills
+}
+
+// Response is the model's completion.
+type Response struct {
+	Text  string
+	Usage Usage
+}
+
+// Client is the language-model interface.
+type Client interface {
+	// Name identifies the model (e.g. "sim-gpt-4o").
+	Name() string
+	// ContextWindow returns the maximum prompt tokens the model accepts.
+	ContextWindow() int
+	// Complete runs one request.
+	Complete(req Request) (Response, error)
+}
+
+// ContextWindowError reports a prompt exceeding the model's window — the
+// failure mode that makes direct-chat baselines unusable on ensemble data.
+type ContextWindowError struct {
+	Tokens int
+	Window int
+}
+
+func (e *ContextWindowError) Error() string {
+	return fmt.Sprintf("llm: prompt of %d tokens exceeds the %d-token context window", e.Tokens, e.Window)
+}
+
+// CountTokens measures text with the shared tokenizer (the same measure
+// the RAG chunker uses), scaled to approximate subword inflation.
+func CountTokens(text string) int {
+	n := rag.TokenCount(text)
+	return n + n/3 // words → subword tokens, ~1.33x
+}

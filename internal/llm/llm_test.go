@@ -1,0 +1,436 @@
+package llm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"infera/internal/hacc"
+	"infera/internal/script"
+)
+
+// The paper's Table 1 representative questions.
+const (
+	qEasyEasy = "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"
+	qMedEasy  = "Please find the largest 100 galaxies and 100 halos at timestep 498 in simulation 0. I would like to plot all of them in Paraview and also see how well aligned those galaxies and halos are to each other."
+	qHardEasy = "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass."
+	qMedMed   = "I would like to find the most unique halos in simulation 0 at timestep 498. Using velocity, mass, and kinetic energy of the halos, generate an 'interestingness' score and plot the top 1000 halos as a UMAP plot, highlighting the top 20 halos in simulation 0 that are the most interesting."
+	qHardMed  = "How does the slope and normalization of the gas-mass fraction-mass relation (sod_halo_MGas500c/sod_halo_M500c) evolve from the earliest timestep to the latest timestep in simulation 0?"
+	qMedHard  = "First find the two largest halos by their halo count in timestep 624 of simulation 0. Then find the top 10 galaxies associated to those two halos (related by fof_halo_tag). What are the differences in characteristics of the two groups of galaxies? For example, differences in gas-mass, mass, or kinetic energy?"
+	qHardHard = "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?"
+	qPrecise  = "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?"
+	qAmbig    = "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624? Also plot a summary of the differences in halo characteristics between the two simulations."
+)
+
+func TestParseIntentTable1(t *testing.T) {
+	cases := []struct {
+		q        string
+		analysis string
+		check    func(t *testing.T, in Intent)
+	}{
+		{qEasyEasy, "aggregate", func(t *testing.T, in Intent) {
+			if !in.AllSims || !in.AllSteps || !in.PerStep || in.Aggregate != "avg" {
+				t.Errorf("intent = %+v", in)
+			}
+			if !containsStr(in.Metrics, "fof_halo_count") {
+				t.Errorf("metrics = %v", in.Metrics)
+			}
+		}},
+		{qMedEasy, "alignment", func(t *testing.T, in Intent) {
+			if in.TopN != 100 || in.Plot != "paraview" || len(in.Sims) != 1 || in.Sims[0] != 0 {
+				t.Errorf("intent = %+v", in)
+			}
+			if in.Steps[0] != 498 {
+				t.Errorf("steps = %v", in.Steps)
+			}
+		}},
+		{qHardEasy, "track", func(t *testing.T, in Intent) {
+			if !in.AllSims || !in.AllSteps || !in.WantPlot {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qMedMed, "interestingness", func(t *testing.T, in Intent) {
+			if in.TopN != 1000 || in.Highlight != 20 || in.Plot != "umap" {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qHardMed, "gasfrac", func(t *testing.T, in Intent) {
+			if !in.AllSteps || len(in.Sims) != 1 {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qMedHard, "galhalocompare", func(t *testing.T, in Intent) {
+			if in.Steps[0] != 624 || in.RankBy != "fof_halo_count" {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qHardHard, "smhm", func(t *testing.T, in Intent) {
+			if !in.ParamCols || in.Steps[0] != 624 {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qPrecise, "topn", func(t *testing.T, in Intent) {
+			if in.TopN != 20 || in.Steps[0] != 498 || in.Sims[0] != 0 {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+		{qAmbig, "paramdirection", func(t *testing.T, in Intent) {
+			if !in.Ambiguous || !in.ParamCols {
+				t.Errorf("intent = %+v", in)
+			}
+		}},
+	}
+	for _, c := range cases {
+		in := ParseIntent(c.q)
+		if in.Analysis != c.analysis {
+			t.Errorf("ParseIntent(%.40q).Analysis = %q, want %q", c.q, in.Analysis, c.analysis)
+			continue
+		}
+		c.check(t, in)
+	}
+}
+
+func TestPlanStepCountsTrackDifficulty(t *testing.T) {
+	easy := buildPlan(ParseIntent(qEasyEasy)).AnalysisSteps()
+	medium := buildPlan(ParseIntent(qMedMed)).AnalysisSteps()
+	hard := buildPlan(ParseIntent(qHardHard)).AnalysisSteps()
+	if easy > 4 {
+		t.Errorf("easy plan has %d steps, want <= 4", easy)
+	}
+	if medium < 5 {
+		t.Errorf("medium plan has %d steps, want >= 5", medium)
+	}
+	if hard < 6 {
+		t.Errorf("hard plan has %d steps, want >= 6", hard)
+	}
+	if easy >= medium || medium > hard {
+		t.Errorf("step counts not ordered: %d %d %d", easy, medium, hard)
+	}
+}
+
+func TestHardnessOrdering(t *testing.T) {
+	he := hardness(qEasyEasy)
+	hm := hardness(qHardMed)
+	hh := hardness(qHardHard)
+	if !(he < hh) || !(hm < hh) {
+		t.Errorf("hardness: easy=%v med=%v hard=%v", he, hm, hh)
+	}
+}
+
+// allQuestions enumerates the Table 1 set for coverage loops.
+var allQuestions = []string{
+	qEasyEasy, qMedEasy, qHardEasy, qMedMed, qHardMed, qMedHard, qHardHard, qPrecise, qAmbig,
+}
+
+// TestGeneratedCodeParses guarantees every analysis recipe (both python and
+// viz, every step index and strategy, with and without tool errors) emits
+// syntactically valid DSL.
+func TestGeneratedCodeParses(t *testing.T) {
+	for _, q := range allQuestions {
+		in := ParseIntent(q)
+		plan := buildPlan(in)
+		pyIdx, vizIdx := 0, 0
+		for _, step := range plan.Steps {
+			req := ScriptRequest{
+				Task: step.Task, Intent: in,
+				Sims: []int{0, 1}, Steps: []int{99, 624},
+			}
+			switch step.Agent {
+			case AgentPython:
+				req.StepIndex = pyIdx
+				pyIdx++
+				for _, wrong := range []bool{false, true} {
+					for strat := 0; strat < 3; strat++ {
+						req.Strategy = strat
+						code := genPython(req, wrong)
+						if _, err := script.Parse(code); err != nil {
+							t.Errorf("python code for %q (step %d wrong=%v strat=%d) does not parse: %v\n%s",
+								in.Analysis, req.StepIndex, wrong, strat, err, code)
+						}
+					}
+				}
+			case AgentViz:
+				req.StepIndex = vizIdx
+				vizIdx++
+				for _, wrong := range []bool{false, true} {
+					code := genViz(req, wrong)
+					if _, err := script.Parse(code); err != nil {
+						t.Errorf("viz code for %q (step %d wrong=%v) does not parse: %v\n%s",
+							in.Analysis, req.StepIndex, wrong, err, code)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenSQLShapes(t *testing.T) {
+	in := ParseIntent(qPrecise)
+	cols := NeedColumns(in, hacc.FileHalos)
+	sql := genSQL(SQLRequest{Intent: in, Table: "halos", Role: hacc.FileHalos, Columns: cols})
+	if !strings.HasPrefix(sql, "SELECT ") || !strings.Contains(sql, "FROM halos") {
+		t.Errorf("sql = %q", sql)
+	}
+	if !strings.Contains(sql, "ORDER BY fof_halo_mass DESC LIMIT 20") {
+		t.Errorf("topn sql missing order/limit: %q", sql)
+	}
+	// SMHM galaxies get the centrals filter.
+	in2 := ParseIntent(qHardHard)
+	sql2 := genSQL(SQLRequest{Intent: in2, Table: "galaxies", Role: hacc.FileGalaxies,
+		Columns: NeedColumns(in2, hacc.FileGalaxies)})
+	if !strings.Contains(sql2, "gal_is_central = 1") {
+		t.Errorf("smhm galaxy sql = %q", sql2)
+	}
+}
+
+func TestNeedColumnsAlwaysIncludeKeys(t *testing.T) {
+	for _, q := range allQuestions {
+		in := ParseIntent(q)
+		cols := NeedColumns(in, hacc.FileHalos)
+		for _, want := range []string{"sim", "step", "fof_halo_tag"} {
+			if !contains(cols, want) {
+				t.Errorf("%q halos columns missing %s: %v", in.Analysis, want, cols)
+			}
+		}
+		// Never more than the full dictionary.
+		if len(cols) > len(hacc.ColumnsOf(hacc.FileHalos))+len(ParamColumns)+2 {
+			t.Errorf("%q requests too many columns: %v", in.Analysis, cols)
+		}
+	}
+	in := ParseIntent(qHardHard)
+	if cols := NeedColumns(in, hacc.FileHalos); !contains(cols, "m_seed") {
+		t.Errorf("smhm halos columns missing m_seed: %v", cols)
+	}
+}
+
+func completeJSON[T any](t *testing.T, m *SimModel, skill string, payload any, out *T) Usage {
+	t.Helper()
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Complete(Request{Skill: skill, System: "you are " + skill, Prompt: string(raw)})
+	if err != nil {
+		t.Fatalf("%s: %v", skill, err)
+	}
+	if err := json.Unmarshal([]byte(resp.Text), out); err != nil {
+		t.Fatalf("%s response not JSON: %v\n%s", skill, err, resp.Text)
+	}
+	return resp.Usage
+}
+
+func TestSimPlanSkillAndFeedback(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 1})
+	var plan Plan
+	usage := completeJSON(t, m, SkillPlan, PlanRequest{Question: qPrecise}, &plan)
+	if len(plan.Steps) < 3 || plan.Intent.Analysis != "topn" {
+		t.Errorf("plan = %+v", plan)
+	}
+	if usage.Prompt == 0 || usage.Completion == 0 {
+		t.Errorf("usage = %+v", usage)
+	}
+	// Feedback naming a column folds it into the intent.
+	var plan2 Plan
+	completeJSON(t, m, SkillPlan, PlanRequest{
+		Question: qPrecise,
+		Feedback: []string{"please also include fof_halo_vel_disp"},
+	}, &plan2)
+	if !containsStr(plan2.Intent.Metrics, "fof_halo_vel_disp") {
+		t.Errorf("feedback not applied: %v", plan2.Intent.Metrics)
+	}
+}
+
+func TestErrorInjectionDecaysWithAttempts(t *testing.T) {
+	in := ParseIntent(qHardHard)
+	req := ScriptRequest{Intent: in, StepIndex: 0}
+	corruptedAt := func(attempt int, n int) int {
+		m := NewSim(SimConfig{Seed: 42})
+		bad := 0
+		for i := 0; i < n; i++ {
+			req.Attempt = attempt
+			raw, _ := json.Marshal(req)
+			resp, err := m.Complete(Request{Skill: SkillScript, Prompt: string(raw)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sr ScriptResponse
+			if err := json.Unmarshal([]byte(resp.Text), &sr); err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(sr.Code, `"stellar_mass"`) || strings.Contains(sr.Code, `"halo_mass"`) ||
+				strings.Contains(sr.Code, `"halo_tag"`) {
+				bad++
+			}
+		}
+		return bad
+	}
+	first := corruptedAt(0, 300)
+	fourth := corruptedAt(4, 300)
+	if first == 0 {
+		t.Error("no corruption at attempt 0 for a hard question")
+	}
+	if fourth >= first {
+		t.Errorf("corruption should decay with retries: attempt0=%d attempt4=%d", first, fourth)
+	}
+}
+
+func TestEasyQuestionsFailLessThanHard(t *testing.T) {
+	corrupted := func(q string, n int) int {
+		m := NewSim(SimConfig{Seed: 7})
+		in := ParseIntent(q)
+		bad := 0
+		for i := 0; i < n; i++ {
+			raw, _ := json.Marshal(ScriptRequest{Intent: in})
+			resp, err := m.Complete(Request{Skill: SkillScript, Prompt: string(raw)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sr ScriptResponse
+			_ = json.Unmarshal([]byte(resp.Text), &sr)
+			if _, err := script.Parse(sr.Code); err != nil {
+				t.Fatalf("generated code unparseable: %v", err)
+			}
+			code := sr.Code
+			clean := genPython(ScriptRequest{Intent: in}, false)
+			cleanWrong := genPython(ScriptRequest{Intent: in}, true)
+			if code != clean && code != cleanWrong {
+				bad++
+			}
+		}
+		return bad
+	}
+	easy := corrupted(qEasyEasy, 400)
+	hard := corrupted(qHardHard, 400)
+	if easy >= hard {
+		t.Errorf("easy corruption %d should be below hard %d", easy, hard)
+	}
+}
+
+func TestQASkillScoredVsBinary(t *testing.T) {
+	scored := NewSim(SimConfig{Seed: 5})
+	binary := NewSim(SimConfig{Seed: 5, BinaryQA: true})
+	countFails := func(m *SimModel, n int) int {
+		fails := 0
+		for i := 0; i < n; i++ {
+			var resp QAResponse
+			completeJSON(t, m, SkillQA, QARequest{Task: "t", Preview: "result frame: 5 rows"}, &resp)
+			if !resp.Pass {
+				fails++
+			}
+		}
+		return fails
+	}
+	scoredFN := countFails(scored, 400)
+	binaryFN := countFails(binary, 400)
+	if scoredFN >= binaryFN {
+		t.Errorf("scored QA false negatives %d should be far below binary %d", scoredFN, binaryFN)
+	}
+	if binaryFN < 40 {
+		t.Errorf("binary QA false negatives %d suspiciously low", binaryFN)
+	}
+	// Errors always fail in both modes.
+	var resp QAResponse
+	completeJSON(t, scored, SkillQA, QARequest{Task: "t", Error: "KeyError: column"}, &resp)
+	if resp.Pass || resp.Score >= 50 {
+		t.Errorf("error should fail QA: %+v", resp)
+	}
+}
+
+func TestRouteSkillFollowsPlan(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 2})
+	steps := []PlanStep{{Agent: AgentData, Task: "load"}, {Agent: AgentSQL, Task: "filter"}}
+	var r RouteResponse
+	completeJSON(t, m, SkillRoute, RouteRequest{Steps: steps, Completed: 1}, &r)
+	if r.Done || r.Agent != AgentSQL {
+		t.Errorf("route = %+v", r)
+	}
+	completeJSON(t, m, SkillRoute, RouteRequest{Steps: steps, Completed: 2}, &r)
+	if !r.Done {
+		t.Errorf("route should be done: %+v", r)
+	}
+}
+
+func TestRouteHistoryDrivesTokenCost(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 2})
+	steps := []PlanStep{{Agent: AgentData, Task: "load"}}
+	small := RouteRequest{Steps: steps}
+	big := RouteRequest{Steps: steps, History: strings.Repeat("previous message content ", 500)}
+	var r RouteResponse
+	uSmall := completeJSON(t, m, SkillRoute, small, &r)
+	uBig := completeJSON(t, m, SkillRoute, big, &r)
+	if uBig.Prompt <= uSmall.Prompt+1000 {
+		t.Errorf("history should inflate prompt tokens: %d vs %d", uBig.Prompt, uSmall.Prompt)
+	}
+}
+
+func TestChatSkillHallucinatesAtScale(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 3})
+	// A 20x5 CSV (the paper's toy example) should already hallucinate.
+	var rows []string
+	rows = append(rows, "a,b,c,d,e")
+	for i := 0; i < 20; i++ {
+		rows = append(rows, "1.5,2.5,3.5,4.5,5.5")
+	}
+	var resp ChatResponse
+	completeJSON(t, m, SkillChat, ChatRequest{Question: "list column a", DataCSV: strings.Join(rows, "\n")}, &resp)
+	if !resp.Hallucinated {
+		t.Error("20x5 frame should trigger hallucination")
+	}
+	// A 2-row frame should be safe.
+	var small ChatResponse
+	completeJSON(t, m, SkillChat, ChatRequest{Question: "list", DataCSV: "a\n1.5\n2.5"}, &small)
+	if len(small.Values) != 2 {
+		t.Errorf("small values = %v", small.Values)
+	}
+}
+
+func TestContextWindowEnforced(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 1, Window: 100})
+	_, err := m.Complete(Request{Skill: SkillChat, Prompt: strings.Repeat("tok ", 200)})
+	var cwe *ContextWindowError
+	if err == nil || !asContextWindow(err, &cwe) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func asContextWindow(err error, out **ContextWindowError) bool {
+	if e, ok := err.(*ContextWindowError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestSummarySkill(t *testing.T) {
+	m := NewSim(SimConfig{Seed: 1})
+	raw, _ := json.Marshal(SummaryRequest{
+		Question: qPrecise,
+		Steps:    []string{"loaded halos", "filtered"},
+		Failures: []string{"one redo on sql"},
+	})
+	resp, err := m.Complete(Request{Skill: SkillSummary, Prompt: string(raw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Text, "Workflow summary") || !strings.Contains(resp.Text, "one redo") {
+		t.Errorf("summary = %q", resp.Text)
+	}
+}
+
+func TestCorruptName(t *testing.T) {
+	if got := corruptName("fof_halo_count"); got != "halo_count" {
+		t.Errorf("corruptName = %q", got)
+	}
+	if got := corruptName("plain"); got != "plain_val" {
+		t.Errorf("corruptName = %q", got)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	var u Usage
+	u.Add(Usage{Prompt: 10, Completion: 5})
+	u.Add(Usage{Prompt: 1, Completion: 2})
+	if u.Total() != 18 || u.Prompt != 11 {
+		t.Errorf("usage = %+v", u)
+	}
+}

@@ -1,0 +1,163 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Agent role names used in plans and routing.
+const (
+	AgentData   = "dataloader"
+	AgentSQL    = "sql"
+	AgentPython = "python"
+	AgentViz    = "viz"
+	AgentQA     = "qa"
+	AgentDoc    = "documentation"
+)
+
+// PlanStep is one delegated task of the analysis stage.
+type PlanStep struct {
+	Agent string `json:"agent"`
+	Task  string `json:"task"`
+}
+
+// Plan is the planning agent's output: an ordered step list plus the
+// structured intent that pins down interpretation for downstream agents
+// (the role the written plan document plays in the paper).
+type Plan struct {
+	Steps  []PlanStep `json:"steps"`
+	Intent Intent     `json:"intent"`
+}
+
+// AnalysisSteps counts the data-phase steps (the paper's analysis-
+// complexity measure excludes planning, QA, documentation and summary).
+func (p Plan) AnalysisSteps() int { return len(p.Steps) }
+
+// String renders the plan as a numbered list for human review.
+func (p Plan) String() string {
+	var sb strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "%d. [%s] %s\n", i+1, s.Agent, s.Task)
+	}
+	return sb.String()
+}
+
+// PlanRequest is the planning skill's payload.
+type PlanRequest struct {
+	Question string   `json:"question"`
+	Context  string   `json:"context"`  // ensemble description
+	Feedback []string `json:"feedback"` // human refinement rounds
+}
+
+// buildPlan maps intent to the step list. Step counts track the paper's
+// difficulty thresholds: simple aggregations take ~4 steps, medium
+// questions add a computation or visualization step, hard questions two or
+// more.
+func buildPlan(in Intent) Plan {
+	var steps []PlanStep
+	add := func(agent, task string) { steps = append(steps, PlanStep{Agent: agent, Task: task}) }
+
+	scope := describeScope(in)
+	add(AgentData, "Load the "+strings.Join(in.Entities, " and ")+" data "+scope+" into the staging database, selecting only the required columns")
+	add(AgentSQL, "Filter the staged tables to the rows and columns needed for the analysis")
+
+	switch in.Analysis {
+	case "aggregate":
+		add(AgentPython, fmt.Sprintf("Compute the %s of %s grouped %s", in.Aggregate, firstMetric(in), groupDesc(in)))
+		if in.WantPlot {
+			add(AgentViz, "Plot the aggregated values")
+		}
+	case "topn":
+		add(AgentPython, fmt.Sprintf("Select the top %d rows ranked by %s", in.TopN, in.RankBy))
+		if in.WantPlot {
+			add(AgentViz, "Plot the selected rows")
+		}
+	case "track":
+		add(AgentPython, "Organize the largest-halo metrics by simulation and timestep")
+		add(AgentViz, "Plot halo count of the largest halos across timesteps for every simulation")
+		add(AgentViz, "Plot halo mass of the largest halos across timesteps for every simulation")
+	case "interestingness":
+		add(AgentPython, "Compute an interestingness score from velocity, mass and kinetic energy z-scores")
+		add(AgentPython, fmt.Sprintf("Embed the top %d halos into 2-D (UMAP)", maxInt(in.TopN, 100)))
+		add(AgentViz, fmt.Sprintf("Scatter the embedding, highlighting the top %d halos", maxInt(in.Highlight, 10)))
+	case "gasfrac":
+		add(AgentPython, "Derive the gas-mass fraction and logarithmic columns")
+		add(AgentPython, "Fit slope and normalization of the fgas-mass relation per timestep")
+		add(AgentViz, "Plot the evolution of slope and normalization across timesteps")
+	case "smhm":
+		add(AgentPython, "Join galaxies to halos and derive logarithmic stellar and halo masses")
+		add(AgentViz, "Scatter stellar mass against halo mass")
+		add(AgentPython, "Fit the SMHM relation per seed mass and rank by intrinsic scatter")
+		add(AgentViz, "Plot intrinsic scatter against seed mass to locate the tightest relation")
+	case "galhalocompare":
+		add(AgentPython, "Find the two largest halos and the top 10 galaxies of each")
+		add(AgentPython, "Compare mean stellar mass, gas mass and kinetic energy between the two galaxy groups")
+		if in.WantPlot {
+			add(AgentViz, "Plot the group comparison")
+		}
+	case "alignment":
+		add(AgentPython, fmt.Sprintf("Select the %d largest halos and galaxies and match them by host halo tag", maxInt(in.TopN, 100)))
+		add(AgentViz, "Render the selected halos as a ParaView scene")
+		add(AgentPython, "Quantify the halo-galaxy alignment fraction")
+	case "neighborhood":
+		add(AgentPython, fmt.Sprintf("Find all halos within %.0f Mpc of the target halo", in.Radius))
+		add(AgentViz, "Render the target and neighbours as a ParaView scene with the target highlighted")
+	case "paramdirection":
+		add(AgentPython, "Relate the sub-grid parameters to the halo masses of the largest halos")
+		add(AgentViz, "Plot a summary of the differences in halo characteristics")
+	case "corrmatrix":
+		add(AgentPython, "Compute the correlation matrix of the requested characteristics")
+	case "hist":
+		add(AgentPython, "Bin the requested column into a histogram")
+		add(AgentViz, "Plot the histogram")
+	case "relation":
+		add(AgentPython, "Derive logarithmic columns and fit the requested relation")
+		if in.WantPlot {
+			add(AgentViz, "Scatter the relation with the fitted trend")
+		}
+	default: // inspect
+		add(AgentPython, "Inspect the selected rows")
+	}
+	return Plan{Steps: steps, Intent: in}
+}
+
+func describeScope(in Intent) string {
+	sim := "for all simulations"
+	if len(in.Sims) > 0 {
+		sim = fmt.Sprintf("for simulation(s) %v", in.Sims)
+	}
+	step := "at the final timestep"
+	if in.AllSteps {
+		step = "across all timesteps"
+	} else if len(in.Steps) > 0 {
+		step = fmt.Sprintf("at timestep(s) %v", in.Steps)
+	}
+	return sim + " " + step
+}
+
+func groupDesc(in Intent) string {
+	switch {
+	case in.PerStep && in.PerSim:
+		return "by simulation and timestep"
+	case in.PerStep:
+		return "by timestep"
+	case in.PerSim:
+		return "by simulation"
+	default:
+		return "overall"
+	}
+}
+
+func firstMetric(in Intent) string {
+	if len(in.Metrics) > 0 {
+		return in.Metrics[0]
+	}
+	return in.RankBy
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,524 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"strings"
+	"sync"
+
+	"infera/internal/hacc"
+)
+
+// SimConfig tunes the simulated model. Zero values take calibrated
+// defaults chosen so the evaluation harness reproduces the *shape* of the
+// paper's Table 2 (success declining with difficulty, QA redos growing,
+// failed runs consuming more tokens).
+type SimConfig struct {
+	Seed int64
+	// ColumnErrorRate is the base probability that one generated code block
+	// references a corrupted column name (the paper's most common failure
+	// mechanism). Scaled up by question hardness and down by retry.
+	ColumnErrorRate float64
+	// RetryDecay multiplies the error rate on each QA-guided regeneration;
+	// values near 1 make repairs harder.
+	RetryDecay float64
+	// ToolErrorRate is the probability of a *soft* failure: valid code
+	// using an inappropriate technique or chart kind (§4.1.2).
+	ToolErrorRate float64
+	// Window is the context window in tokens.
+	Window int
+	// BinaryQA switches the QA skill to binary verdicts (the §4.2.4
+	// ablation); default is 1-100 scoring with threshold 50.
+	BinaryQA bool
+	// QAFalseNegRate is the binary mode's false-negative probability.
+	QAFalseNegRate float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.ColumnErrorRate == 0 {
+		c.ColumnErrorRate = 0.30
+	}
+	if c.RetryDecay == 0 {
+		c.RetryDecay = 0.85
+	}
+	if c.ToolErrorRate == 0 {
+		c.ToolErrorRate = 0.12
+	}
+	if c.Window == 0 {
+		c.Window = 128_000
+	}
+	if c.QAFalseNegRate == 0 {
+		c.QAFalseNegRate = 0.25
+	}
+	return c
+}
+
+// LocalSimConfig returns the error profile of a smaller locally-hosted,
+// security-compliant model (the paper's Ollama comparison: GPT-4o
+// "significantly outperforms" it): much higher code-error rates, weaker
+// repair, and a smaller context window.
+func LocalSimConfig(seed int64) SimConfig {
+	return SimConfig{
+		Seed:            seed,
+		ColumnErrorRate: 0.55,
+		RetryDecay:      0.93,
+		ToolErrorRate:   0.30,
+		Window:          32_000,
+		QAFalseNegRate:  0.35,
+	}
+}
+
+// SimModel is the deterministic seeded stand-in for GPT-4o.
+type SimModel struct {
+	cfg SimConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSim returns a model with the given config (zero fields defaulted).
+// The seed is scrambled before use so sequential seeds give decorrelated
+// streams.
+func NewSim(cfg SimConfig) *SimModel {
+	cfg = cfg.withDefaults()
+	return &SimModel{cfg: cfg, rng: rand.New(rand.NewSource(scramble(cfg.Seed)))}
+}
+
+// scramble applies a splitmix64 finalizer so nearby seeds diverge.
+func scramble(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Name identifies the simulated model.
+func (m *SimModel) Name() string { return "sim-gpt-4o" }
+
+// ContextWindow returns the prompt token limit.
+func (m *SimModel) ContextWindow() int { return m.cfg.Window }
+
+// Complete dispatches on the request skill.
+func (m *SimModel) Complete(req Request) (Response, error) {
+	promptTokens := CountTokens(req.System) + CountTokens(req.Prompt)
+	if promptTokens > m.cfg.Window {
+		return Response{}, &ContextWindowError{Tokens: promptTokens, Window: m.cfg.Window}
+	}
+	var text string
+	var err error
+	switch req.Skill {
+	case SkillPlan:
+		text, err = m.completePlan(req.Prompt)
+	case SkillSQL:
+		text, err = m.completeSQL(req.Prompt)
+	case SkillScript:
+		text, err = m.completeScript(req.Prompt)
+	case SkillViz:
+		text, err = m.completeViz(req.Prompt)
+	case SkillQA:
+		text, err = m.completeQA(req.Prompt)
+	case SkillRoute:
+		text, err = m.completeRoute(req.Prompt)
+	case SkillSummary:
+		text, err = m.completeSummary(req.Prompt)
+	case SkillChat:
+		text, err = m.completeChat(req.Prompt, promptTokens)
+	default:
+		err = fmt.Errorf("llm: unknown skill %q", req.Skill)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Text:  text,
+		Usage: Usage{Prompt: promptTokens, Completion: CountTokens(text)},
+	}, nil
+}
+
+func (m *SimModel) rand() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.Float64()
+}
+
+func (m *SimModel) randN(n int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.Intn(n)
+}
+
+func (m *SimModel) randNorm() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.NormFloat64()
+}
+
+// Planning ----------------------------------------------------------------
+
+func (m *SimModel) completePlan(prompt string) (string, error) {
+	var req PlanRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: plan payload: %w", err)
+	}
+	in := ParseIntent(req.Question)
+	// Human feedback refinement: corrections that name exact columns are
+	// folded into the intent (the §4.2.2 "directly providing the correct
+	// name" pathway).
+	for _, fb := range req.Feedback {
+		low := strings.ToLower(fb)
+		for _, cd := range hacc.ColumnDictionary() {
+			if strings.Contains(low, strings.ToLower(cd.Column)) && !containsStr(in.Metrics, cd.Column) {
+				in.Metrics = append(in.Metrics, cd.Column)
+			}
+		}
+	}
+	plan := buildPlan(in)
+	out, err := json.Marshal(plan)
+	return string(out), err
+}
+
+// Hardness ------------------------------------------------------------------
+
+// hardTerms are domain expressions absent from the metadata dictionaries;
+// their presence marks the paper's "hard semantic complexity" axis.
+var hardTerms = []string{
+	"intrinsic scatter", "velocity dispersion", "assembly efficiency",
+	"tightest", "most unique", "interestingness", "aligned", "alignment",
+	"direction of", "normalization", "threshold", "characteristics",
+	"inference",
+}
+
+var reParenCol = regexp.MustCompile(`\([a-z_0-9]+\)`)
+
+// hardness estimates how far the question's wording sits from the metadata
+// vocabulary; it scales error injection so semantic difficulty degrades
+// reliability organically, as in Table 2.
+func hardness(question string) float64 {
+	q := strings.ToLower(question)
+	h := 1.0
+	for _, t := range hardTerms {
+		if strings.Contains(q, t) {
+			h += 0.45
+		}
+	}
+	// Explicitly named columns anchor the model.
+	explicit := 0
+	for _, cd := range hacc.ColumnDictionary() {
+		if wordMatch(q, strings.ToLower(cd.Column)) {
+			explicit++
+		}
+	}
+	h -= 0.25 * float64(explicit)
+	if reParenCol.MatchString(q) {
+		h -= 0.1
+	}
+	return math.Min(2.8, math.Max(0.55, h))
+}
+
+// Code generation ------------------------------------------------------------
+
+func (m *SimModel) completeSQL(prompt string) (string, error) {
+	var req SQLRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: sql payload: %w", err)
+	}
+	sql := genSQL(req)
+	// SQL prompts carry the exact staged schema, so the model copies
+	// column names rather than recalling them; corruption is rarer than in
+	// free-form analysis code (the paper's failures concentrate in the
+	// Python and visualization agents).
+	sql = m.maybeCorruptScaled(sql, req.Intent.Question, req.Attempt, req.PriorError, 0.35)
+	out, err := json.Marshal(SQLResponse{SQL: sql})
+	return string(out), err
+}
+
+func (m *SimModel) completeScript(prompt string) (string, error) {
+	var req ScriptRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: script payload: %w", err)
+	}
+	if req.Strategy < 0 {
+		// The request leaves the analytical strategy open; ambiguous
+		// questions legitimately admit several (§4.5), so the model picks.
+		req.Strategy = m.randN(3)
+	}
+	wrongTool := req.Attempt == 0 && m.rand() < m.cfg.ToolErrorRate*hardness(req.Intent.Question)/2
+	code := genPython(req, wrongTool)
+	code = m.maybeCorrupt(code, req.Intent.Question, req.Attempt, req.PriorError)
+	out, err := json.Marshal(ScriptResponse{Code: code, Strategy: req.Strategy})
+	return string(out), err
+}
+
+func (m *SimModel) completeViz(prompt string) (string, error) {
+	var req ScriptRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: viz payload: %w", err)
+	}
+	wrongKind := req.Attempt == 0 && m.rand() < m.cfg.ToolErrorRate*hardness(req.Intent.Question)
+	code := genViz(req, wrongKind)
+	code = m.maybeCorrupt(code, req.Intent.Question, req.Attempt, req.PriorError)
+	out, err := json.Marshal(ScriptResponse{Code: code})
+	return string(out), err
+}
+
+// corruptible matches dictionary column names with at least two
+// underscore-separated parts — the names whose prefixes models drop.
+func corruptibleColumns(code string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, cd := range hacc.ColumnDictionary() {
+		if seen[cd.Column] || strings.Count(cd.Column, "_") < 2 {
+			continue
+		}
+		if strings.Contains(code, `"`+cd.Column+`"`) || strings.Contains(code, cd.Column+" ") ||
+			strings.Contains(code, cd.Column+",") {
+			seen[cd.Column] = true
+			out = append(out, cd.Column)
+		}
+	}
+	return out
+}
+
+// maybeCorrupt injects the paper's dominant failure mechanism: a slightly
+// wrong column name (fof_halo_count -> halo_count). The probability rises
+// with question hardness and the number of referenced columns, and decays
+// with each QA-guided retry; an error message naming the bad column makes
+// the model avoid corrupting that column again.
+func (m *SimModel) maybeCorrupt(code, question string, attempt int, priorError string) string {
+	return m.maybeCorruptScaled(code, question, attempt, priorError, 1)
+}
+
+func (m *SimModel) maybeCorruptScaled(code, question string, attempt int, priorError string, scale float64) string {
+	candidates := corruptibleColumns(code)
+	if len(candidates) == 0 {
+		return code
+	}
+	h := hardness(question)
+	base := scale * m.cfg.ColumnErrorRate * h * math.Pow(m.cfg.RetryDecay, float64(attempt))
+	n := len(candidates)
+	if n > 5 {
+		n = 5
+	}
+	p := 1 - math.Pow(1-base, float64(n))
+	if p > 0.92 {
+		p = 0.92
+	}
+	if m.rand() >= p {
+		return code
+	}
+	// Pick a victim column, avoiding one the prior error already exposed
+	// (errors quote the offending name; the available-columns list is
+	// unquoted, so exact quoted matching is required).
+	var pool []string
+	for _, c := range candidates {
+		if priorError != "" && strings.Contains(priorError, `"`+corruptName(c)+`"`) {
+			continue
+		}
+		pool = append(pool, c)
+	}
+	if len(pool) == 0 {
+		return code
+	}
+	victim := pool[m.randN(len(pool))]
+	return strings.ReplaceAll(code, victim, corruptName(victim))
+}
+
+// corruptName drops the leading underscore segment, the simplification the
+// paper highlights (fof_halo_center_x -> halo_center_x).
+func corruptName(col string) string {
+	i := strings.Index(col, "_")
+	if i < 0 {
+		return col + "_val"
+	}
+	return col[i+1:]
+}
+
+// QA ---------------------------------------------------------------------
+
+// QARequest asks for a quality judgment of one step's output.
+type QARequest struct {
+	Task    string `json:"task"`
+	Preview string `json:"preview"`
+	Error   string `json:"error"`
+	Binary  bool   `json:"binary"` // override to binary verdicts
+}
+
+// QAResponse is the judgment.
+type QAResponse struct {
+	Score    int    `json:"score"` // 1-100
+	Pass     bool   `json:"pass"`
+	Feedback string `json:"feedback"`
+}
+
+func (m *SimModel) completeQA(prompt string) (string, error) {
+	var req QARequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: qa payload: %w", err)
+	}
+	var resp QAResponse
+	binary := req.Binary || m.cfg.BinaryQA
+	switch {
+	case req.Error != "":
+		resp.Score = 5 + m.randN(30)
+		resp.Pass = false
+		resp.Feedback = "execution failed: " + req.Error
+	case binary:
+		// Binary verdicts without graded criteria produce frequent false
+		// negatives on superficially unusual but correct output (§4.2.4).
+		resp.Pass = m.rand() >= m.cfg.QAFalseNegRate
+		if resp.Pass {
+			resp.Score = 100
+			resp.Feedback = "output accepted"
+		} else {
+			resp.Score = 0
+			resp.Feedback = "output judged incorrect (binary verdict): result shape looks unusual for the task"
+		}
+	default:
+		score := 75 + int(12*m.randNorm())
+		if score > 100 {
+			score = 100
+		}
+		if score < 1 {
+			score = 1
+		}
+		resp.Score = score
+		resp.Pass = score >= 50
+		if resp.Pass {
+			resp.Feedback = "output addresses the delegated task"
+		} else {
+			resp.Feedback = "output quality below threshold: result does not convincingly address the task"
+		}
+	}
+	out, err := json.Marshal(resp)
+	return string(out), err
+}
+
+// Routing ---------------------------------------------------------------
+
+// SkillRoute is the supervisor's next-step decision.
+const SkillRoute = "route"
+
+// RouteRequest carries the plan and progress; History is the message
+// context the supervisor chooses to include (its size drives the token
+// ablation of §4.1.4).
+type RouteRequest struct {
+	Steps     []PlanStep `json:"steps"`
+	Completed int        `json:"completed"`
+	History   string     `json:"history"`
+}
+
+// RouteResponse names the next step, or Done.
+type RouteResponse struct {
+	Done  bool   `json:"done"`
+	Index int    `json:"index"`
+	Agent string `json:"agent"`
+	Task  string `json:"task"`
+}
+
+func (m *SimModel) completeRoute(prompt string) (string, error) {
+	var req RouteRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: route payload: %w", err)
+	}
+	var resp RouteResponse
+	if req.Completed >= len(req.Steps) {
+		resp.Done = true
+	} else {
+		step := req.Steps[req.Completed]
+		resp = RouteResponse{Index: req.Completed, Agent: step.Agent, Task: step.Task}
+	}
+	out, err := json.Marshal(resp)
+	return string(out), err
+}
+
+// Summary -----------------------------------------------------------------
+
+// SummaryRequest asks for the documentation agent's workflow record.
+type SummaryRequest struct {
+	Question string   `json:"question"`
+	Steps    []string `json:"steps"`
+	Failures []string `json:"failures"`
+}
+
+func (m *SimModel) completeSummary(prompt string) (string, error) {
+	var req SummaryRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: summary payload: %w", err)
+	}
+	var sb strings.Builder
+	sb.WriteString("# Workflow summary\n\n")
+	sb.WriteString("Question: " + req.Question + "\n\n## Steps\n")
+	for i, s := range req.Steps {
+		fmt.Fprintf(&sb, "%d. %s\n", i+1, s)
+	}
+	if len(req.Failures) > 0 {
+		sb.WriteString("\n## Limitations encountered\n")
+		for _, f := range req.Failures {
+			sb.WriteString("- " + f + "\n")
+		}
+	}
+	return sb.String(), nil
+}
+
+// Chat ---------------------------------------------------------------------
+
+// ChatRequest is the direct-LLM baseline payload: a question plus raw data
+// pasted into the prompt.
+type ChatRequest struct {
+	Question string `json:"question"`
+	DataCSV  string `json:"data_csv"`
+}
+
+// ChatResponse simulates direct chat over in-prompt data: beyond a small
+// data volume the model confabulates values — the §4.4 observation that a
+// 20x5 dataframe already produced hallucinated values and relationships.
+type ChatResponse struct {
+	Answer       string    `json:"answer"`
+	Values       []float64 `json:"values"`
+	Hallucinated bool      `json:"hallucinated"`
+}
+
+func (m *SimModel) completeChat(prompt string, promptTokens int) (string, error) {
+	var req ChatRequest
+	if err := json.Unmarshal([]byte(prompt), &req); err != nil {
+		return "", fmt.Errorf("llm: chat payload: %w", err)
+	}
+	// Echo the first numeric column's values, corrupting with probability
+	// growing in the data volume.
+	pHall := math.Min(0.95, float64(CountTokens(req.DataCSV))/300.0)
+	lines := strings.Split(strings.TrimSpace(req.DataCSV), "\n")
+	var vals []float64
+	hallucinated := false
+	for _, line := range lines[minInt(1, len(lines)):] {
+		fields := strings.Split(line, ",")
+		if len(fields) == 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[0], "%g", &v); err != nil {
+			continue
+		}
+		if m.rand() < pHall {
+			v *= 1 + 0.5*m.randNorm() // confabulated value
+			hallucinated = true
+		}
+		vals = append(vals, v)
+	}
+	resp := ChatResponse{
+		Answer:       "Based on the provided data, here are the requested values.",
+		Values:       vals,
+		Hallucinated: hallucinated,
+	}
+	out, err := json.Marshal(resp)
+	return string(out), err
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

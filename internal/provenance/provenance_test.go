@@ -1,0 +1,184 @@
+package provenance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"infera/internal/dataframe"
+)
+
+func newSession(t *testing.T) (*Store, *Session) {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := store.NewSession("run-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, sess
+}
+
+func TestRecordSequencesAndManifest(t *testing.T) {
+	_, sess := newSession(t)
+	e1, err := sess.Record("sql", "code", "query.sql", []byte("SELECT 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := sess.Record("python", "code", "analysis.py", []byte("x = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 0 || e2.Seq != 1 {
+		t.Errorf("seqs = %d, %d", e1.Seq, e2.Seq)
+	}
+	if !strings.HasPrefix(filepath.Base(e1.File), "000_sql_code_") {
+		t.Errorf("file name = %s", e1.File)
+	}
+	m := sess.Manifest()
+	if len(m) != 2 || m[1].Agent != "python" {
+		t.Errorf("manifest = %+v", m)
+	}
+	data, err := sess.Read(e1)
+	if err != nil || string(data) != "SELECT 1" {
+		t.Errorf("read = %q, %v", data, err)
+	}
+}
+
+func TestRecordFrameAndSize(t *testing.T) {
+	_, sess := newSession(t)
+	f := dataframe.MustFromColumns(dataframe.NewInt("a", []int64{1, 2}))
+	e, err := sess.RecordFrame("loader", "halos", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(e.Name, ".csv") || e.Kind != "data" {
+		t.Errorf("entry = %+v", e)
+	}
+	if sess.SizeBytes() != e.Bytes {
+		t.Errorf("size = %d, want %d", sess.SizeBytes(), e.Bytes)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	_, sess := newSession(t)
+	e, err := sess.Record("viz", "plot", "p.svg", []byte("<svg/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := sess.Verify()
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("fresh session should verify: %v %v", bad, err)
+	}
+	if err := os.WriteFile(filepath.Join(sess.Dir(), e.File), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = sess.Verify()
+	if err != nil || len(bad) != 1 {
+		t.Errorf("tampering not detected: %v %v", bad, err)
+	}
+}
+
+func TestOpenSessionResumesSequence(t *testing.T) {
+	store, sess := newSession(t)
+	if _, err := sess.Record("a", "k", "x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	re, err := store.OpenSession("run-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := re.Record("b", "k", "y", []byte("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 1 {
+		t.Errorf("resumed seq = %d, want 1", e.Seq)
+	}
+	if len(re.Manifest()) != 2 {
+		t.Errorf("manifest = %d entries", len(re.Manifest()))
+	}
+}
+
+func TestCheckpointAndLast(t *testing.T) {
+	_, sess := newSession(t)
+	type state struct{ Step int }
+	if _, err := sess.Checkpoint("after-load", state{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Record("sql", "code", "q", []byte("SELECT")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Checkpoint("after-sql", state{Step: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := sess.LastCheckpoint()
+	if !ok || !strings.Contains(cp.Name, "after-sql") {
+		t.Errorf("last checkpoint = %+v, %v", cp, ok)
+	}
+	data, err := sess.Read(cp)
+	if err != nil || !strings.Contains(string(data), "\"Step\": 2") {
+		t.Errorf("checkpoint content = %q", data)
+	}
+}
+
+func TestBranchCopiesPrefix(t *testing.T) {
+	store, sess := newSession(t)
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := sess.Record("agent", "data", name, []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	branch, err := store.Branch(sess, "run-001-alt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := branch.Manifest()
+	if len(m) != 2 || m[1].Name != "b" {
+		t.Errorf("branch manifest = %+v", m)
+	}
+	// The branch continues independently.
+	if _, err := branch.Record("agent", "data", "d", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Manifest()) != 3 {
+		t.Error("branching mutated the source session")
+	}
+	bad, _ := branch.Verify()
+	if len(bad) != 0 {
+		t.Errorf("branch does not verify: %v", bad)
+	}
+}
+
+func TestDuplicateSessionRejected(t *testing.T) {
+	store, _ := newSession(t)
+	if _, err := store.NewSession("run-001"); err == nil {
+		t.Error("duplicate session should fail")
+	}
+	ids, err := store.Sessions()
+	if err != nil || len(ids) != 1 || ids[0] != "run-001" {
+		t.Errorf("sessions = %v, %v", ids, err)
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	_, sess := newSession(t)
+	e, err := sess.Record("ag ent", "co/de", "../weird name.sql", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(e.File)
+	if strings.ContainsAny(base, "/ ") {
+		t.Errorf("unsanitized artifact name: %s", e.File)
+	}
+	// The file must stay inside the session's artifacts directory.
+	if filepath.Dir(e.File) != "artifacts" {
+		t.Errorf("artifact escaped artifacts dir: %s", e.File)
+	}
+	if _, err := os.Stat(filepath.Join(sess.Dir(), e.File)); err != nil {
+		t.Errorf("artifact not written: %v", err)
+	}
+}

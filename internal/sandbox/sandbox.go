@@ -1,0 +1,99 @@
+// Package sandbox executes agent-generated analysis code in isolation from
+// the ground-truth data, reproducing §3.2: "the system transmits code and a
+// temporary data copy to the server. The server executes the code, performs
+// error detection, and returns either a complete error-free pandas
+// dataframe or detailed error messages."
+//
+// Two entry points share one execution core: Executor runs in-process, and
+// Server/Client speak the same contract over HTTP on 127.0.0.1 (the
+// ASGI-gateway analog of the paper's Uvicorn/FastAPI server).
+package sandbox
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"infera/internal/dataframe"
+	"infera/internal/script"
+)
+
+// Result is the outcome of one sandboxed execution.
+type Result struct {
+	OK        bool
+	Error     string            // Python-like error text when !OK
+	Frame     *dataframe.Frame  // the frame passed to result(), may be nil
+	Artifacts map[string][]byte // plots, CSVs and scenes produced by the code
+	Stdout    []string
+}
+
+// Executor runs scripts against temporary copies of input tables.
+type Executor struct {
+	// Registry is the function set available to executed code. Defaults to
+	// script.DefaultRegistry when nil.
+	Registry script.Registry
+	// BaseDir is where per-execution temp dirs are created ("" = system
+	// temp dir).
+	BaseDir string
+}
+
+// Exec copies the input tables into a fresh temporary directory as CSVs,
+// runs the code there, and tears the directory down afterwards. The input
+// frames themselves are never handed to the code — only copies — so the
+// original data cannot be modified.
+func (e *Executor) Exec(code string, tables map[string]*dataframe.Frame) Result {
+	dir, err := os.MkdirTemp(e.BaseDir, "infera-sandbox-*")
+	if err != nil {
+		return Result{Error: "OSError: " + err.Error()}
+	}
+	defer os.RemoveAll(dir)
+
+	for name, f := range tables {
+		var buf bytes.Buffer
+		if err := f.WriteCSV(&buf); err != nil {
+			return Result{Error: "OSError: staging table " + name + ": " + err.Error()}
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".csv"), buf.Bytes(), 0o644); err != nil {
+			return Result{Error: "OSError: " + err.Error()}
+		}
+	}
+
+	reg := e.Registry
+	if reg == nil {
+		reg = script.DefaultRegistry()
+	}
+	env := script.NewEnv(reg, dir)
+	prog, err := script.Parse(code)
+	if err != nil {
+		return Result{Error: err.Error(), Stdout: env.Stdout}
+	}
+	if err := prog.Run(env); err != nil {
+		return Result{Error: err.Error(), Artifacts: env.Artifacts, Stdout: env.Stdout}
+	}
+	return Result{
+		OK:        true,
+		Frame:     env.Result,
+		Artifacts: env.Artifacts,
+		Stdout:    env.Stdout,
+	}
+}
+
+// ResultPreview renders a short text preview of an execution for QA
+// assessment and provenance records.
+func (r Result) Preview() string {
+	if !r.OK {
+		return "ERROR: " + r.Error
+	}
+	out := ""
+	if r.Frame != nil {
+		out += fmt.Sprintf("result frame: %d rows x %d cols (%v)\n", r.Frame.NumRows(), r.Frame.NumCols(), r.Frame.Names())
+		out += r.Frame.Head(5).String()
+	} else {
+		out += "no result frame\n"
+	}
+	if len(r.Artifacts) > 0 {
+		out += fmt.Sprintf("artifacts: %d file(s)\n", len(r.Artifacts))
+	}
+	return out
+}

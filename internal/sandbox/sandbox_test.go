@@ -1,0 +1,116 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+
+	"infera/internal/dataframe"
+)
+
+func halosFrame() *dataframe.Frame {
+	return dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", []int64{1, 2, 3}),
+		dataframe.NewFloat("fof_halo_mass", []float64{3e14, 2e14, 1e14}),
+	)
+}
+
+func TestExecutorRunsAndReturnsFrame(t *testing.T) {
+	ex := &Executor{}
+	res := ex.Exec(`
+h = load_table("halos")
+top = head(sort(h, "fof_halo_mass", true), 2)
+result(top)
+`, map[string]*dataframe.Frame{"halos": halosFrame()})
+	if !res.OK {
+		t.Fatalf("exec failed: %s", res.Error)
+	}
+	if res.Frame.NumRows() != 2 || res.Frame.MustColumn("fof_halo_tag").I[0] != 1 {
+		t.Errorf("frame = %v", res.Frame)
+	}
+	if !strings.Contains(res.Preview(), "result frame: 2 rows") {
+		t.Errorf("preview = %q", res.Preview())
+	}
+}
+
+func TestExecutorInputIsolation(t *testing.T) {
+	// The code must not be able to modify the caller's frame.
+	ex := &Executor{}
+	orig := halosFrame()
+	res := ex.Exec(`
+h = load_table("halos")
+h = derive_scale(h, "fof_halo_mass", "fof_halo_mass", 0)
+result(h)
+`, map[string]*dataframe.Frame{"halos": orig})
+	if !res.OK {
+		t.Fatal(res.Error)
+	}
+	if orig.MustColumn("fof_halo_mass").F[0] != 3e14 {
+		t.Error("sandbox mutated the original frame")
+	}
+	if res.Frame.MustColumn("fof_halo_mass").F[0] != 0 {
+		t.Error("derived result wrong")
+	}
+}
+
+func TestExecutorReportsErrors(t *testing.T) {
+	ex := &Executor{}
+	res := ex.Exec(`h = load_table("halos")`+"\n"+`x = filter_gt(h, "halo_mass", 1)`,
+		map[string]*dataframe.Frame{"halos": halosFrame()})
+	if res.OK {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(res.Error, "KeyError") || !strings.Contains(res.Error, "line 2") {
+		t.Errorf("error = %q", res.Error)
+	}
+	if !strings.Contains(res.Preview(), "ERROR") {
+		t.Errorf("preview = %q", res.Preview())
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srv := NewServer(&Executor{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	res := client.Exec(`
+h = load_table("halos")
+save_csv(h, "copy.csv")
+hist_plot(h, "fof_halo_mass", 3, "masses", "hist.svg")
+result(h)
+`, map[string]*dataframe.Frame{"halos": halosFrame()})
+	if !res.OK {
+		t.Fatalf("exec failed: %s", res.Error)
+	}
+	if res.Frame.NumRows() != 3 {
+		t.Errorf("frame rows = %d", res.Frame.NumRows())
+	}
+	if _, ok := res.Artifacts["hist.svg"]; !ok {
+		t.Error("artifact hist.svg missing over HTTP")
+	}
+	if _, ok := res.Artifacts["copy.csv"]; !ok {
+		t.Error("artifact copy.csv missing over HTTP")
+	}
+}
+
+func TestServerClientErrorPath(t *testing.T) {
+	srv := NewServer(&Executor{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	res := client.Exec(`x = nope()`, nil)
+	if res.OK || !strings.Contains(res.Error, "NameError") {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestClientConnectionError(t *testing.T) {
+	client := NewClient("127.0.0.1:1") // nothing listens there
+	res := client.Exec("result(x)", nil)
+	if res.OK || !strings.Contains(res.Error, "ConnectionError") {
+		t.Errorf("result = %+v", res)
+	}
+}

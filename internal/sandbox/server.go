@@ -1,0 +1,180 @@
+package sandbox
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"infera/internal/dataframe"
+	"infera/internal/script"
+)
+
+// wire types for the HTTP execution contract.
+type execRequest struct {
+	Code   string            `json:"code"`
+	Tables map[string]string `json:"tables"` // name -> CSV text
+}
+
+type execResponse struct {
+	OK        bool              `json:"ok"`
+	Error     string            `json:"error,omitempty"`
+	ResultCSV string            `json:"result_csv,omitempty"`
+	Artifacts map[string]string `json:"artifacts,omitempty"` // name -> base64
+	Stdout    []string          `json:"stdout,omitempty"`
+}
+
+// Server exposes the executor over HTTP on a loopback port — the process
+// boundary that keeps code execution separated from code generation.
+type Server struct {
+	exec *Executor
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer returns an unstarted server wrapping exec.
+func NewServer(exec *Executor) *Server {
+	s := &Server{exec: exec}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.http = &http.Server{Handler: mux, ReadTimeout: 30 * time.Second}
+	return s
+}
+
+// Start listens on 127.0.0.1:0 and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the listening address (host:port); empty before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req execRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tables := map[string]*dataframe.Frame{}
+	for name, csvText := range req.Tables {
+		f, err := dataframe.ReadCSV(bytes.NewReader([]byte(csvText)))
+		if err != nil {
+			writeJSON(w, execResponse{Error: "ValueError: table " + name + ": " + err.Error()})
+			return
+		}
+		tables[name] = f
+	}
+	res := s.exec.Exec(req.Code, tables)
+	resp := execResponse{OK: res.OK, Error: res.Error, Stdout: res.Stdout}
+	if res.Frame != nil {
+		var buf bytes.Buffer
+		if err := res.Frame.WriteCSV(&buf); err == nil {
+			resp.ResultCSV = buf.String()
+		}
+	}
+	if len(res.Artifacts) > 0 {
+		resp.Artifacts = map[string]string{}
+		for name, data := range res.Artifacts {
+			resp.Artifacts[name] = base64.StdEncoding.EncodeToString(data)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client calls a sandbox Server over HTTP.
+type Client struct {
+	BaseURL string // e.g. "http://127.0.0.1:45123"
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{BaseURL: "http://" + addr, HTTP: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// Exec mirrors Executor.Exec across the HTTP boundary.
+func (c *Client) Exec(code string, tables map[string]*dataframe.Frame) Result {
+	req := execRequest{Code: code, Tables: map[string]string{}}
+	for name, f := range tables {
+		var buf bytes.Buffer
+		if err := f.WriteCSV(&buf); err != nil {
+			return Result{Error: "OSError: encoding table " + name + ": " + err.Error()}
+		}
+		req.Tables[name] = buf.String()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Result{Error: "OSError: " + err.Error()}
+	}
+	httpResp, err := c.HTTP.Post(c.BaseURL+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Result{Error: "ConnectionError: " + err.Error()}
+	}
+	defer httpResp.Body.Close()
+	var resp execResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return Result{Error: "ValueError: bad server response: " + err.Error()}
+	}
+	out := Result{OK: resp.OK, Error: resp.Error, Stdout: resp.Stdout}
+	if resp.ResultCSV != "" {
+		if f, err := dataframe.ReadCSV(bytes.NewReader([]byte(resp.ResultCSV))); err == nil {
+			out.Frame = f
+		}
+	}
+	if len(resp.Artifacts) > 0 {
+		out.Artifacts = map[string][]byte{}
+		for name, b64 := range resp.Artifacts {
+			if data, err := base64.StdEncoding.DecodeString(b64); err == nil {
+				out.Artifacts[name] = data
+			}
+		}
+	}
+	return out
+}
+
+// Runner abstracts in-process and HTTP execution so agents can use either.
+type Runner interface {
+	Exec(code string, tables map[string]*dataframe.Frame) Result
+}
+
+var (
+	_ Runner = (*Executor)(nil)
+	_ Runner = (*Client)(nil)
+)
+
+// Ensure script types stay reachable for hosts registering tools.
+var _ = script.DefaultRegistry

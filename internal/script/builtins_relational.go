@@ -1,0 +1,140 @@
+package script
+
+import (
+	"fmt"
+
+	"infera/internal/dataframe"
+)
+
+// Relational helpers used by generated analysis code for the "galaxies of
+// the two largest halos" style questions.
+
+func registerRelational(r Registry) {
+	r["semi_join"] = biSemiJoin
+	r["top_per_group"] = biTopPerGroup
+	r["groupby_multi"] = biGroupByMulti
+}
+
+// biSemiJoin keeps the rows of the first frame whose key appears in the
+// second frame: semi_join(df, keys_df, on).
+func biSemiJoin(_ *Env, args []Value) (Value, error) {
+	if err := wantArgs("semi_join", args, 3); err != nil {
+		return Value{}, err
+	}
+	f, err := wantFrame("semi_join", args, 0)
+	if err != nil {
+		return Value{}, err
+	}
+	keys, err := wantFrame("semi_join", args, 1)
+	if err != nil {
+		return Value{}, err
+	}
+	on, err := wantStr("semi_join", args, 2)
+	if err != nil {
+		return Value{}, err
+	}
+	fc, err := f.Column(on)
+	if err != nil {
+		return Value{}, err
+	}
+	kc, err := keys.Column(on)
+	if err != nil {
+		return Value{}, err
+	}
+	present := map[string]bool{}
+	for i := 0; i < keys.NumRows(); i++ {
+		present[kc.StringAt(i)] = true
+	}
+	out := f.Filter(func(i int) bool { return present[fc.StringAt(i)] })
+	return FrameValue(out), nil
+}
+
+// biTopPerGroup keeps the top n rows per group value ordered by a column
+// descending: top_per_group(df, group, by, n).
+func biTopPerGroup(_ *Env, args []Value) (Value, error) {
+	if err := wantArgs("top_per_group", args, 4); err != nil {
+		return Value{}, err
+	}
+	f, err := wantFrame("top_per_group", args, 0)
+	if err != nil {
+		return Value{}, err
+	}
+	group, err := wantStr("top_per_group", args, 1)
+	if err != nil {
+		return Value{}, err
+	}
+	by, err := wantStr("top_per_group", args, 2)
+	if err != nil {
+		return Value{}, err
+	}
+	n, err := wantNum("top_per_group", args, 3)
+	if err != nil {
+		return Value{}, err
+	}
+	sorted, err := f.SortBy(dataframe.SortKey{Col: by, Desc: true})
+	if err != nil {
+		return Value{}, err
+	}
+	gc, err := sorted.Column(group)
+	if err != nil {
+		return Value{}, err
+	}
+	taken := map[string]int{}
+	out := sorted.Filter(func(i int) bool {
+		k := gc.StringAt(i)
+		if taken[k] >= int(n) {
+			return false
+		}
+		taken[k]++
+		return true
+	})
+	return FrameValue(out), nil
+}
+
+// biGroupByMulti applies several aggregations in one pass:
+// groupby_multi(df, keys, cols, ops, names).
+func biGroupByMulti(_ *Env, args []Value) (Value, error) {
+	if err := wantArgs("groupby_multi", args, 5); err != nil {
+		return Value{}, err
+	}
+	f, err := wantFrame("groupby_multi", args, 0)
+	if err != nil {
+		return Value{}, err
+	}
+	keys, err := wantStrList("groupby_multi", args, 1)
+	if err != nil {
+		return Value{}, err
+	}
+	cols, err := wantStrList("groupby_multi", args, 2)
+	if err != nil {
+		return Value{}, err
+	}
+	ops, err := wantStrList("groupby_multi", args, 3)
+	if err != nil {
+		return Value{}, err
+	}
+	names, err := wantStrList("groupby_multi", args, 4)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(cols) != len(ops) || len(cols) != len(names) {
+		return Value{}, fmt.Errorf("ValueError: groupby_multi cols/ops/names lengths differ (%d/%d/%d)", len(cols), len(ops), len(names))
+	}
+	aggs := make([]dataframe.Agg, len(cols))
+	for i := range cols {
+		op, err := dataframe.ParseAggOp(ops[i])
+		if err != nil {
+			return Value{}, err
+		}
+		col := cols[i]
+		if op == dataframe.Count {
+			col = ""
+		}
+		aggs[i] = dataframe.Agg{Col: col, Op: op, As: names[i]}
+	}
+	out, err := f.GroupBy(keys, aggs)
+	if err != nil {
+		return Value{}, err
+	}
+	return FrameValue(out), nil
+}

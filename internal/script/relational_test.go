@@ -1,0 +1,96 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSemiJoin(t *testing.T) {
+	env := testEnv(t)
+	run(t, env, `
+h = load_table("halos")
+keys = filter_in(h, "fof_halo_tag", [1, 3])
+kept = semi_join(h, keys, "fof_halo_tag")
+result(kept)
+`)
+	if env.Result.NumRows() != 2 {
+		t.Errorf("semi_join rows = %d", env.Result.NumRows())
+	}
+	tags := env.Result.MustColumn("fof_halo_tag").I
+	if tags[0] != 1 || tags[1] != 3 {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestTopPerGroup(t *testing.T) {
+	env := testEnv(t)
+	run(t, env, `
+h = load_table("halos")
+top = top_per_group(h, "sim", "fof_halo_mass", 1)
+result(top)
+`)
+	if env.Result.NumRows() != 2 {
+		t.Fatalf("rows = %d", env.Result.NumRows())
+	}
+	// The per-sim maxima: sim 0 -> 4e14 (tag 1), sim 1 -> 3e14 (tag 3).
+	masses := env.Result.MustColumn("fof_halo_mass").F
+	if masses[0] != 4e14 || masses[1] != 3e14 {
+		t.Errorf("per-group maxima = %v", masses)
+	}
+}
+
+func TestGroupByMulti(t *testing.T) {
+	env := testEnv(t)
+	run(t, env, `
+h = load_table("halos")
+g = groupby_multi(h, ["sim"], ["fof_halo_mass", "fof_halo_vel_disp"], ["max", "mean"], ["max_mass", "mean_vd"])
+result(g)
+`)
+	f := env.Result
+	if f.NumRows() != 2 || !f.Has("max_mass") || !f.Has("mean_vd") {
+		t.Fatalf("result = %v", f.Names())
+	}
+	if f.MustColumn("max_mass").F[0] != 4e14 {
+		t.Errorf("max sim0 = %v", f.MustColumn("max_mass").F[0])
+	}
+	if f.MustColumn("mean_vd").F[0] != 600 { // (800+400)/2
+		t.Errorf("mean vd sim0 = %v", f.MustColumn("mean_vd").F[0])
+	}
+}
+
+func TestGroupByMultiCountAndErrors(t *testing.T) {
+	env := testEnv(t)
+	run(t, env, `
+h = load_table("halos")
+g = groupby_multi(h, ["sim"], ["fof_halo_mass"], ["count"], ["n"])
+result(g)
+`)
+	if env.Result.MustColumn("n").I[0] != 2 {
+		t.Errorf("count = %v", env.Result.MustColumn("n").I[0])
+	}
+	err := runErr(t, env, `
+h = load_table("halos")
+g = groupby_multi(h, ["sim"], ["a", "b"], ["max"], ["x"])
+`)
+	if err == nil || !strings.Contains(err.Error(), "lengths differ") {
+		t.Errorf("length mismatch error = %v", err)
+	}
+	err = runErr(t, env, `
+h = load_table("halos")
+g = groupby_multi(h, ["sim"], ["fof_halo_mass"], ["mode"], ["x"])
+`)
+	if err == nil || !strings.Contains(err.Error(), "unknown aggregate") {
+		t.Errorf("unknown op error = %v", err)
+	}
+}
+
+func TestSemiJoinMissingKey(t *testing.T) {
+	env := testEnv(t)
+	err := runErr(t, env, `
+h = load_table("halos")
+k = semi_join(h, h, "nope")
+`)
+	if err == nil || !strings.Contains(err.Error(), "KeyError") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,483 @@
+package sqldb
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"infera/internal/dataframe"
+)
+
+// blockSize is the number of rows evaluated per batch in filters and
+// aggregations; it bounds transient allocation independent of table size.
+const blockSize = 8192
+
+// execute runs a parsed statement over a source frame whose columns have
+// already been pruned to stmt.referencedColumns() (or the full schema if a
+// star projection is present).
+func execute(stmt *selectStmt, src *dataframe.Frame) (*dataframe.Frame, error) {
+	keep, err := filterRows(stmt, src)
+	if err != nil {
+		return nil, err
+	}
+
+	var out *dataframe.Frame
+	if stmt.hasAggregates() || len(stmt.groupBy) > 0 {
+		// Grouped path: ORDER BY resolves against the output frame.
+		out, err = executeGrouped(stmt, src, keep)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.distinct {
+			out = distinctRows(out)
+		}
+		if len(stmt.orderBy) > 0 {
+			out, err = orderRows(stmt, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Row path: ORDER BY may reference input columns that the
+		// projection drops, so sort the kept row indices first.
+		if len(stmt.orderBy) > 0 {
+			keep, err = orderKeep(stmt, src, keep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out, err = project(stmt, src, keep)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.distinct {
+			out = distinctRows(out)
+		}
+	}
+	if stmt.limit >= 0 {
+		out = out.Head(stmt.limit)
+	}
+	return out, nil
+}
+
+// orderKeep stably sorts filtered row indices by the ORDER BY expressions
+// evaluated over the source frame.
+func orderKeep(stmt *selectStmt, src *dataframe.Frame, keep []int) ([]int, error) {
+	nOrd := len(stmt.orderBy)
+	// ORDER BY may name an output alias; resolve it to the select item's
+	// expression when the source has no such column (SQL lets source
+	// columns shadow aliases).
+	ordExprs := make([]expr, nOrd)
+	for oi, item := range stmt.orderBy {
+		ordExprs[oi] = item.ex
+		if id, ok := item.ex.(*identExpr); ok && !src.Has(id.name) {
+			for _, sel := range stmt.items {
+				if !sel.star && sel.outName() == id.name {
+					ordExprs[oi] = sel.ex
+					break
+				}
+			}
+		}
+	}
+	kv := make([][]value, len(keep)) // per kept row, per order item
+	ctx := &rowContext{frame: src}
+	for j, r := range keep {
+		ctx.row = r
+		vals := make([]value, nOrd)
+		for oi := range stmt.orderBy {
+			v, err := evalExpr(ordExprs[oi], ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals[oi] = v
+		}
+		kv[j] = vals
+	}
+	idx := make([]int, len(keep))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for oi, item := range stmt.orderBy {
+			cmp := compareValues(kv[idx[a]][oi], kv[idx[b]][oi])
+			if item.desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	out := make([]int, len(keep))
+	for i, j := range idx {
+		out[i] = keep[j]
+	}
+	return out, nil
+}
+
+// compareValues orders two SQL values; NaN sorts last ascending.
+func compareValues(a, b value) int {
+	if a.kind == dataframe.String && b.kind == dataframe.String {
+		return strings.Compare(a.s, b.s)
+	}
+	x, y := a.asFloat(), b.asFloat()
+	switch {
+	case math.IsNaN(x) && math.IsNaN(y):
+		return 0
+	case math.IsNaN(x):
+		return 1
+	case math.IsNaN(y):
+		return -1
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// filterRows applies WHERE block by block and returns surviving row indices.
+func filterRows(stmt *selectStmt, src *dataframe.Frame) ([]int, error) {
+	n := src.NumRows()
+	keep := make([]int, 0, n)
+	if stmt.where == nil {
+		for i := 0; i < n; i++ {
+			keep = append(keep, i)
+		}
+		return keep, nil
+	}
+	ctx := &rowContext{frame: src}
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		for r := lo; r < hi; r++ {
+			ctx.row = r
+			v, err := evalExpr(stmt.where, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.truthy() {
+				keep = append(keep, r)
+			}
+		}
+	}
+	return keep, nil
+}
+
+// project evaluates a non-aggregating select list over the kept rows.
+func project(stmt *selectStmt, src *dataframe.Frame, keep []int) (*dataframe.Frame, error) {
+	out := dataframe.New()
+	ctx := &rowContext{frame: src}
+	for _, item := range stmt.items {
+		if item.star {
+			sub := src.Gather(keep)
+			for i := 0; i < sub.NumCols(); i++ {
+				if err := out.AddColumn(sub.ColumnAt(i)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Fast path: plain column reference passes through with its kind.
+		if id, ok := item.ex.(*identExpr); ok {
+			sel, err := src.Select(id.name)
+			if err != nil {
+				return nil, err
+			}
+			col := sel.Gather(keep).ColumnAt(0)
+			col.Name = item.outName()
+			if err := out.AddColumn(col); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		vals := make([]value, len(keep))
+		for j, r := range keep {
+			ctx.row = r
+			v, err := evalExpr(item.ex, ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		col, err := valuesToColumn(item.outName(), vals)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// valuesToColumn converts evaluated values to a typed column: all-int stays
+// Int, any float promotes to Float, any string forces String.
+func valuesToColumn(name string, vals []value) (*dataframe.Column, error) {
+	allInt, anyString := true, false
+	for _, v := range vals {
+		if v.kind != dataframe.Int {
+			allInt = false
+		}
+		if v.kind == dataframe.String {
+			anyString = true
+		}
+	}
+	switch {
+	case anyString:
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			out[i] = v.display()
+		}
+		return dataframe.NewString(name, out), nil
+	case allInt:
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i] = v.i
+		}
+		return dataframe.NewInt(name, out), nil
+	default:
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = v.asFloat()
+		}
+		return dataframe.NewFloat(name, out), nil
+	}
+}
+
+// groupContext serves identifier lookups from a group's first row and
+// aggregate lookups from the accumulated results.
+type groupContext struct {
+	row  *rowContext
+	aggs map[*aggExpr]value
+}
+
+func (c *groupContext) lookup(name string) (value, error) { return c.row.lookup(name) }
+func (c *groupContext) aggValue(e *aggExpr) (value, bool) {
+	v, ok := c.aggs[e]
+	return v, ok
+}
+
+// executeGrouped handles aggregate and GROUP BY queries. Group keys are the
+// GROUP BY expressions (or one global group when absent); each aggregate
+// node accumulates per group in a single streaming pass.
+func executeGrouped(stmt *selectStmt, src *dataframe.Frame, keep []int) (*dataframe.Frame, error) {
+	// Collect distinct aggregate nodes across select items.
+	var aggNodes []*aggExpr
+	for _, item := range stmt.items {
+		if item.star {
+			return nil, evalErrf("SELECT * cannot be combined with aggregates")
+		}
+		collectAggs(item.ex, &aggNodes)
+	}
+
+	type group struct {
+		firstRow int
+		accs     []*aggAccumulator
+	}
+	groupOf := map[string]*group{}
+	var order []*group
+	ctx := &rowContext{frame: src}
+	var sb strings.Builder
+
+	for _, r := range keep {
+		ctx.row = r
+		sb.Reset()
+		for _, g := range stmt.groupBy {
+			v, err := evalExpr(g, ctx)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v.display())
+			sb.WriteByte('\x1f')
+		}
+		key := sb.String()
+		grp, ok := groupOf[key]
+		if !ok {
+			grp = &group{firstRow: r, accs: make([]*aggAccumulator, len(aggNodes))}
+			for i, a := range aggNodes {
+				grp.accs[i] = newAccumulator(a.fn)
+			}
+			groupOf[key] = grp
+			order = append(order, grp)
+		}
+		for i, a := range aggNodes {
+			if a.star {
+				grp.accs[i].add(intVal(1))
+				continue
+			}
+			v, err := evalExpr(a.arg, ctx)
+			if err != nil {
+				return nil, err
+			}
+			grp.accs[i].add(v)
+		}
+	}
+	// A global aggregate over zero rows still yields one row (COUNT = 0).
+	if len(stmt.groupBy) == 0 && len(order) == 0 {
+		grp := &group{firstRow: -1, accs: make([]*aggAccumulator, len(aggNodes))}
+		for i, a := range aggNodes {
+			grp.accs[i] = newAccumulator(a.fn)
+		}
+		order = append(order, grp)
+	}
+
+	// Evaluate select items per group.
+	itemVals := make([][]value, len(stmt.items))
+	for i := range itemVals {
+		itemVals[i] = make([]value, len(order))
+	}
+	for gi, grp := range order {
+		aggs := make(map[*aggExpr]value, len(aggNodes))
+		for i, a := range aggNodes {
+			aggs[a] = grp.accs[i].result()
+		}
+		gctx := &groupContext{row: &rowContext{frame: src, row: grp.firstRow}, aggs: aggs}
+		for ii, item := range stmt.items {
+			if grp.firstRow < 0 && !isPureAggregate(item.ex) {
+				return nil, evalErrf("non-aggregate select item over empty input")
+			}
+			v, err := evalExpr(item.ex, gctx)
+			if err != nil {
+				return nil, err
+			}
+			itemVals[ii][gi] = v
+		}
+	}
+
+	out := dataframe.New()
+	for ii, item := range stmt.items {
+		col, err := valuesToColumn(item.outName(), itemVals[ii])
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func isPureAggregate(e expr) bool {
+	switch v := e.(type) {
+	case *aggExpr:
+		return true
+	case *numberExpr, *stringExpr:
+		return true
+	case *unaryExpr:
+		return isPureAggregate(v.sub)
+	case *binaryExpr:
+		return isPureAggregate(v.left) && isPureAggregate(v.right)
+	case *callExpr:
+		for _, a := range v.args {
+			if !isPureAggregate(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func collectAggs(e expr, dst *[]*aggExpr) {
+	switch v := e.(type) {
+	case *aggExpr:
+		*dst = append(*dst, v)
+	case *unaryExpr:
+		collectAggs(v.sub, dst)
+	case *binaryExpr:
+		collectAggs(v.left, dst)
+		collectAggs(v.right, dst)
+	case *callExpr:
+		for _, a := range v.args {
+			collectAggs(a, dst)
+		}
+	case *inExpr:
+		collectAggs(v.sub, dst)
+	case *betweenExpr:
+		collectAggs(v.sub, dst)
+		collectAggs(v.lo, dst)
+		collectAggs(v.hi, dst)
+	}
+}
+
+func distinctRows(f *dataframe.Frame) *dataframe.Frame {
+	seen := map[string]bool{}
+	var keep []int
+	var sb strings.Builder
+	for r := 0; r < f.NumRows(); r++ {
+		sb.Reset()
+		for c := 0; c < f.NumCols(); c++ {
+			sb.WriteString(f.ColumnAt(c).StringAt(r))
+			sb.WriteByte('\x1f')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, r)
+		}
+	}
+	return f.Gather(keep)
+}
+
+// orderRows sorts the output frame by the ORDER BY items, which must be
+// resolvable against output column names.
+func orderRows(stmt *selectStmt, out *dataframe.Frame) (*dataframe.Frame, error) {
+	keys := make([]dataframe.SortKey, 0, len(stmt.orderBy))
+	tempCols := []string{}
+	work := out
+	for oi, item := range stmt.orderBy {
+		if id, ok := item.ex.(*identExpr); ok && work.Has(id.name) {
+			keys = append(keys, dataframe.SortKey{Col: id.name, Desc: item.desc})
+			continue
+		}
+		// Computed sort key: evaluate against output columns into a
+		// temporary column, dropped after sorting.
+		vals := make([]value, work.NumRows())
+		ctx := &rowContext{frame: work}
+		for r := 0; r < work.NumRows(); r++ {
+			ctx.row = r
+			v, err := evalExpr(item.ex, ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals[r] = v
+		}
+		name := "__order_" + itoa(oi)
+		col, err := valuesToColumn(name, vals)
+		if err != nil {
+			return nil, err
+		}
+		work = work.Clone()
+		if err := work.AddColumn(col); err != nil {
+			return nil, err
+		}
+		tempCols = append(tempCols, name)
+		keys = append(keys, dataframe.SortKey{Col: name, Desc: item.desc})
+	}
+	sorted, err := work.SortBy(keys...)
+	if err != nil {
+		return nil, err
+	}
+	if len(tempCols) > 0 {
+		sorted = sorted.Drop(tempCols...)
+	}
+	return sorted, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,329 @@
+// Package stats provides the numerical routines the paper's analyses lean
+// on NumPy/SciPy for: least-squares fits with intrinsic scatter, Pearson
+// and Spearman correlation, correlation matrices, z-scores, histogram
+// binning and a deterministic PCA-based 2-D embedding standing in for UMAP.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitResult holds a simple linear regression y = Slope*x + Intercept.
+type FitResult struct {
+	Slope     float64
+	Intercept float64
+	R         float64 // Pearson correlation of x and y
+	Scatter   float64 // RMS of residuals ("intrinsic scatter" in dex when
+	// inputs are logarithmic)
+	N int
+}
+
+// LinearFit fits y against x by ordinary least squares, ignoring pairs with
+// NaN in either coordinate.
+func LinearFit(x, y []float64) (FitResult, error) {
+	if len(x) != len(y) {
+		return FitResult{}, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	var sx, sy, sxx, sxy, syy float64
+	n := 0
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+		n++
+	}
+	if n < 2 {
+		return FitResult{}, fmt.Errorf("stats: need at least 2 points, got %d", n)
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return FitResult{}, fmt.Errorf("stats: degenerate x (zero variance)")
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+
+	// Residual RMS and correlation.
+	var ssRes float64
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += r * r
+	}
+	varX := sxx/fn - (sx/fn)*(sx/fn)
+	varY := syy/fn - (sy/fn)*(sy/fn)
+	r := 0.0
+	if varX > 0 && varY > 0 {
+		r = (sxy/fn - (sx/fn)*(sy/fn)) / math.Sqrt(varX*varY)
+	}
+	return FitResult{
+		Slope:     slope,
+		Intercept: intercept,
+		R:         r,
+		Scatter:   math.Sqrt(ssRes / fn),
+		N:         n,
+	}, nil
+}
+
+// Mean returns the arithmetic mean, ignoring NaNs.
+func Mean(x []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Std returns the population standard deviation, ignoring NaNs.
+func Std(x []float64) float64 {
+	m := Mean(x)
+	var ss float64
+	n := 0
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			d := v - m
+			ss += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Pearson returns the Pearson correlation of x and y.
+func Pearson(x, y []float64) (float64, error) {
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		return 0, err
+	}
+	return fit.R, nil
+}
+
+// Spearman returns the Spearman rank correlation of x and y.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, len(x))
+	for r, i := range idx {
+		out[i] = float64(r)
+	}
+	return out
+}
+
+// ZScores standardizes x to zero mean, unit standard deviation. A constant
+// vector maps to all zeros.
+func ZScores(x []float64) []float64 {
+	m, s := Mean(x), Std(x)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if s == 0 || math.IsNaN(s) {
+			out[i] = 0
+			continue
+		}
+		out[i] = (v - m) / s
+	}
+	return out
+}
+
+// CorrMatrix returns the Pearson correlation matrix of the columns.
+func CorrMatrix(cols [][]float64) ([][]float64, error) {
+	n := len(cols)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r, err := Pearson(cols[i], cols[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = r
+			out[j][i] = r
+		}
+	}
+	return out, nil
+}
+
+// Histogram bins x into nbins equal-width bins over [min, max] and returns
+// bin centers and counts.
+func Histogram(x []float64, nbins int) (centers []float64, counts []int, err error) {
+	if nbins < 1 {
+		return nil, nil, fmt.Errorf("stats: need at least 1 bin")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi {
+		return nil, nil, fmt.Errorf("stats: no finite values to bin")
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(nbins)
+	centers = make([]float64, nbins)
+	counts = make([]int, nbins)
+	for i := range centers {
+		centers[i] = lo + (float64(i)+0.5)*width
+	}
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		b := int((v - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return centers, counts, nil
+}
+
+// Embed2D projects rows of the feature matrix onto their first two
+// principal components — a deterministic stand-in for UMAP that preserves
+// the "similar rows land together" property the interestingness-score
+// question needs. Features are z-scored first. Rows with fewer than two
+// features project onto (feature, 0).
+func Embed2D(features [][]float64) (xs, ys []float64, err error) {
+	n := len(features)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stats: no rows to embed")
+	}
+	d := len(features[0])
+	for _, row := range features {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("stats: ragged feature matrix")
+		}
+	}
+	if d == 0 {
+		return nil, nil, fmt.Errorf("stats: no feature columns")
+	}
+	// Standardize columns.
+	std := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i := range features {
+			col[i] = features[i][j]
+		}
+		std[j] = ZScores(col)
+	}
+	if d == 1 {
+		ys = make([]float64, n)
+		return std[0], ys, nil
+	}
+	// Covariance matrix.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+		for j := range cov[i] {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += std[i][r] * std[j][r]
+			}
+			cov[i][j] = s / float64(n)
+		}
+	}
+	pc1 := powerIteration(cov, nil)
+	pc2 := powerIteration(cov, pc1)
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for r := 0; r < n; r++ {
+		for j := 0; j < d; j++ {
+			xs[r] += std[j][r] * pc1[j]
+			ys[r] += std[j][r] * pc2[j]
+		}
+	}
+	return xs, ys, nil
+}
+
+// powerIteration finds the dominant eigenvector of sym, deflated against
+// orth when non-nil. Deterministic: starts from a fixed vector.
+func powerIteration(sym [][]float64, orth []float64) []float64 {
+	d := len(sym)
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d)+float64(i)) // fixed, slightly asymmetric start
+	}
+	tmp := make([]float64, d)
+	for iter := 0; iter < 100; iter++ {
+		if orth != nil {
+			project(v, orth)
+		}
+		for i := 0; i < d; i++ {
+			var s float64
+			for j := 0; j < d; j++ {
+				s += sym[i][j] * v[j]
+			}
+			tmp[i] = s
+		}
+		norm := 0.0
+		for _, t := range tmp {
+			norm += t * t
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for i := range v {
+			v[i] = tmp[i] / norm
+		}
+	}
+	if orth != nil {
+		project(v, orth)
+	}
+	return v
+}
+
+// project removes the component of v along unit-ish vector u, in place.
+func project(v, u []float64) {
+	var dot, uu float64
+	for i := range v {
+		dot += v[i] * u[i]
+		uu += u[i] * u[i]
+	}
+	if uu == 0 {
+		return
+	}
+	f := dot / uu
+	for i := range v {
+		v[i] -= f * u[i]
+	}
+}

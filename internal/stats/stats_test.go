@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R-1) > 1e-12 || fit.Scatter > 1e-9 {
+		t.Errorf("perfect line should have R=1, scatter=0: %+v", fit)
+	}
+	if fit.N != 5 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestLinearFitNoisyRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 3*x[i] - 2 + rng.NormFloat64()*0.5
+	}
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.05 || math.Abs(fit.Intercept+2) > 0.1 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.Scatter-0.5) > 0.05 {
+		t.Errorf("scatter = %v, want ~0.5", fit.Scatter)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance x should fail")
+	}
+}
+
+func TestLinearFitIgnoresNaN(t *testing.T) {
+	fit, err := LinearFit([]float64{0, 1, math.NaN(), 2}, []float64{0, 2, 5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 3 || math.Abs(fit.Slope-2) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	x := []float64{2, 4, 4, 6}
+	if m := Mean(x); m != 4 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := Std(x); math.Abs(s-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+}
+
+func TestZScores(t *testing.T) {
+	z := ZScores([]float64{2, 4, 4, 6})
+	if math.Abs(Mean(z)) > 1e-12 || math.Abs(Std(z)-1) > 1e-12 {
+		t.Errorf("zscores not standardized: %v", z)
+	}
+	if z := ZScores([]float64{5, 5, 5}); z[0] != 0 || z[1] != 0 {
+		t.Errorf("constant vector zscores = %v", z)
+	}
+}
+
+func TestPearsonSpearman(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	p, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("spearman = %v, want 1", s)
+	}
+	if p >= s {
+		t.Errorf("pearson %v should be below spearman %v for convex data", p, s)
+	}
+}
+
+func TestCorrMatrix(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	c := []float64{4, 3, 2, 1}
+	m, err := CorrMatrix([][]float64{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0][1]-1) > 1e-12 || math.Abs(m[0][2]+1) > 1e-12 {
+		t.Errorf("matrix = %v", m)
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal %d = %v", i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Error("matrix not symmetric")
+			}
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	centers, counts, err := Histogram([]float64{0, 0.1, 0.9, 1.0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 2 || counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("hist = %v %v", centers, counts)
+	}
+	if _, _, err := Histogram([]float64{math.NaN()}, 2); err == nil {
+		t.Error("all-NaN histogram should fail")
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	// Constant data still bins.
+	if _, counts, err := Histogram([]float64{3, 3, 3}, 4); err != nil || sum(counts) != 3 {
+		t.Errorf("constant hist: %v %v", counts, err)
+	}
+}
+
+func sum(x []int) int {
+	s := 0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestEmbed2DSeparatesClusters(t *testing.T) {
+	// Two well-separated clusters in 4-D must separate along PC1.
+	var feats [][]float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		base := 0.0
+		if i >= 20 {
+			base = 10
+		}
+		feats = append(feats, []float64{
+			base + rng.NormFloat64()*0.1,
+			base + rng.NormFloat64()*0.1,
+			-base + rng.NormFloat64()*0.1,
+			rng.NormFloat64() * 0.1,
+		})
+	}
+	xs, _, err := Embed2D(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster means along PC1 must be far apart relative to within-cluster
+	// spread.
+	m1, m2 := Mean(xs[:20]), Mean(xs[20:])
+	s1, s2 := Std(xs[:20]), Std(xs[20:])
+	if math.Abs(m1-m2) < 5*(s1+s2+1e-9) {
+		t.Errorf("clusters not separated: means %v %v stds %v %v", m1, m2, s1, s2)
+	}
+}
+
+func TestEmbed2DErrors(t *testing.T) {
+	if _, _, err := Embed2D(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := Embed2D([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input should fail")
+	}
+	xs, ys, err := Embed2D([][]float64{{1}, {2}, {3}})
+	if err != nil || len(xs) != 3 || ys[0] != 0 {
+		t.Errorf("1-D embed: %v %v %v", xs, ys, err)
+	}
+}
+
+func TestQuickFitResidualOrthogonality(t *testing.T) {
+	// OLS property: residuals are uncorrelated with x (sum r_i*x_i ~ 0).
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			y[i] = rng.NormFloat64() * 5
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return true // degenerate draw
+		}
+		var dot, scale float64
+		for i := range x {
+			r := y[i] - (fit.Slope*x[i] + fit.Intercept)
+			dot += r * x[i]
+			scale += math.Abs(r * x[i])
+		}
+		return math.Abs(dot) <= 1e-6*(scale+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func linePlot() *PlotSpec {
+	return &PlotSpec{
+		Kind:   Line,
+		Title:  "halo mass vs step",
+		XLabel: "step",
+		YLabel: "mass",
+		Series: []Series{
+			{Name: "sim 0", X: []float64{1, 2, 3}, Y: []float64{10, 20, 15}},
+			{Name: "sim 1", X: []float64{1, 2, 3}, Y: []float64{12, 18, 22}},
+		},
+	}
+}
+
+func TestRenderLineSVG(t *testing.T) {
+	svg, err := RenderSVG(linePlot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(svg)
+	for _, want := range []string{"<svg", "polyline", "halo mass vs step", "sim 0", "sim 1", "</svg>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(s, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestRenderScatterWithHighlight(t *testing.T) {
+	spec := &PlotSpec{
+		Kind: Scatter, Title: "umap", XLabel: "x", YLabel: "y",
+		Series:    []Series{{X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}},
+		Highlight: []int{0, 1},
+	}
+	svg, err := RenderSVG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(svg)
+	if got := strings.Count(s, "<circle"); got != 4 {
+		t.Errorf("circles = %d", got)
+	}
+	if got := strings.Count(s, "#d62728"); got != 2 {
+		t.Errorf("highlighted = %d, want 2", got)
+	}
+}
+
+func TestRenderHist(t *testing.T) {
+	spec := &PlotSpec{
+		Kind: Hist, Title: "mass function", XLabel: "mass", YLabel: "count",
+		Series: []Series{{X: []float64{1, 2, 3}, Y: []float64{5, 2, 1}}},
+	}
+	svg, err := RenderSVG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(svg), "<rect") < 4 { // background + 3 bars
+		t.Error("missing histogram bars")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []*PlotSpec{
+		{Kind: "pie", Series: []Series{{X: []float64{1}, Y: []float64{1}}}},
+		{Kind: Line},
+		{Kind: Line, Series: []Series{{X: []float64{}, Y: []float64{}}}},
+		{Kind: Line, Series: []Series{{X: []float64{1, 2}, Y: []float64{1}}}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestRenderAllNaNFails(t *testing.T) {
+	spec := &PlotSpec{
+		Kind:   Line,
+		Series: []Series{{X: []float64{math.NaN()}, Y: []float64{math.NaN()}}},
+	}
+	if _, err := RenderSVG(spec); err == nil {
+		t.Error("all-NaN plot should fail")
+	}
+}
+
+func TestLogYSkipsNonPositive(t *testing.T) {
+	spec := &PlotSpec{
+		Kind: Scatter, LogY: true, YLabel: "mass",
+		Series: []Series{{X: []float64{1, 2, 3}, Y: []float64{-5, 0, 100}}},
+	}
+	svg, err := RenderSVG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(svg), "<circle"); got != 1 {
+		t.Errorf("log-y scatter drew %d points, want 1", got)
+	}
+	if !strings.Contains(string(svg), "log10 mass") {
+		t.Error("log axis label missing")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	spec := linePlot()
+	spec.Title = `<script>"x" & y</script>`
+	svg, err := RenderSVG(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(svg), "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestWriteVTK(t *testing.T) {
+	pts := []Point3{
+		{X: 1, Y: 2, Z: 3, Scalar: 1e14, Highlight: true},
+		{X: 4, Y: 5, Z: 6, Scalar: 5e13},
+	}
+	vtk := string(WriteVTK("target halo and neighbours", pts))
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET POLYDATA",
+		"POINTS 2 float",
+		"VERTICES 2 4",
+		"POINT_DATA 2",
+		"SCALARS scalar float 1",
+		"SCALARS highlight float 1",
+	} {
+		if !strings.Contains(vtk, want) {
+			t.Errorf("vtk missing %q", want)
+		}
+	}
+	// Highlight array: exactly one 1 and one 0 after its header.
+	idx := strings.Index(vtk, "SCALARS highlight")
+	tail := vtk[idx:]
+	if !strings.Contains(tail, "1\n") || !strings.Contains(tail, "0\n") {
+		t.Error("highlight values wrong")
+	}
+}
