@@ -26,6 +26,7 @@ import (
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/rag"
+	"infera/internal/service"
 	"infera/internal/tools"
 	"infera/internal/viz"
 )
@@ -515,6 +516,122 @@ func BenchmarkRAGChunkingAblation(b *testing.B) {
 	}
 	b.ReportMetric(float64(fineHits)/float64(len(queries))*100, "%precision-fine")
 	b.ReportMetric(float64(naiveHits)/float64(len(queries))*100, "%precision-naive")
+}
+
+// benchService shares one 4-worker query service across the serving-layer
+// benchmarks, mirroring a running inferad daemon.
+var benchService = sync.OnceValues(func() (*service.Service, error) {
+	dir, err := sharedEnsemble()
+	if err != nil {
+		return nil, err
+	}
+	return service.New(service.Config{
+		EnsembleDir: dir,
+		Workers:     4,
+		QueueDepth:  256,
+		CacheSize:   256,
+		Seed:        1,
+		NewModel: func(seed int64) llm.Client {
+			return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+		},
+	})
+})
+
+// benchSeed hands every uncached-service iteration a never-repeating seed,
+// far above the seed ranges other benchmarks use.
+var benchSeed int64 = 1_000_000
+var benchSeedMu sync.Mutex
+
+func nextBenchSeed() int64 {
+	benchSeedMu.Lock()
+	defer benchSeedMu.Unlock()
+	benchSeed++
+	return benchSeed
+}
+
+// BenchmarkServiceAsk measures the uncached serving path: every iteration
+// uses a fresh seed, so each request runs the full two-stage workflow
+// through the worker pool. ns/op is the end-to-end latency of one served
+// question.
+func BenchmarkServiceAsk(b *testing.B) {
+	svc, err := benchService()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *service.AskResult
+	for i := 0; i < b.N; i++ {
+		// Monotonic seeds beyond any other benchmark's range keep every ask
+		// a miss, including across the framework's N-scaling rounds.
+		res, err = svc.Ask(service.AskRequest{
+			Question: "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+			Seed:     nextBenchSeed(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Error != "" || res.Cached {
+			b.Fatalf("result = %+v", res)
+		}
+	}
+	b.ReportMetric(float64(res.Tokens), "tokens/ask")
+	b.ReportMetric(float64(res.PlanSteps), "plan-steps")
+}
+
+// BenchmarkServiceCachedAsk measures the cache fast path: one warm-up
+// computation, then every iteration re-asks the same (question, seed) and
+// must be served from the LRU. Compare ns/op against BenchmarkServiceAsk
+// for the caching win (>= 10x is the acceptance bar; in practice it is
+// orders of magnitude).
+func BenchmarkServiceCachedAsk(b *testing.B) {
+	svc, err := benchService()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const question = "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"
+	warm, err := svc.Ask(service.AskRequest{Question: question, Seed: 999})
+	if err != nil || warm.Error != "" {
+		b.Fatalf("warm-up: %v %+v", err, warm)
+	}
+	before := svc.Metrics().Cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Ask(service.AskRequest{Question: question, Seed: 999})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("expected cache hit")
+		}
+	}
+	b.StopTimer()
+	after := svc.Metrics().Cache
+	b.ReportMetric(float64(after.Hits-before.Hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(after.Misses-before.Misses), "extra-misses")
+}
+
+// BenchmarkServiceConcurrentAsk drives the worker pool at full parallelism:
+// b.RunParallel issues uncached asks from many goroutines, so ns/op
+// reflects queueing plus concurrent workflow execution — the serving
+// throughput number.
+func BenchmarkServiceConcurrentAsk(b *testing.B) {
+	svc, err := benchService()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := svc.Ask(service.AskRequest{
+				Question: "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+				Seed:     nextBenchSeed(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Error != "" {
+				b.Fatal(res.Error)
+			}
+		}
+	})
 }
 
 // BenchmarkSelectiveIO quantifies the data-reduction substrate itself: the

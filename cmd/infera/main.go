@@ -4,9 +4,13 @@
 // through the multi-agent workflow, and reports results with full
 // provenance locations.
 //
+// With -serve it skips the REPL and runs the concurrent query service
+// (the inferad daemon) on -addr instead.
+//
 // Usage:
 //
 //	infera -ensemble DIR [-work DIR] [-seed 1] [-auto] [-server]
+//	infera -ensemble DIR -serve [-addr 127.0.0.1:8080]
 package main
 
 import (
@@ -15,11 +19,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"infera/internal/agent"
 	"infera/internal/core"
 	"infera/internal/llm"
+	"infera/internal/service"
 )
 
 func main() {
@@ -30,10 +37,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "model seed")
 		auto     = flag.Bool("auto", false, "skip plan approval (automated mode)")
 		server   = flag.Bool("server", true, "execute sandbox code over a loopback HTTP server")
+		serve    = flag.Bool("serve", false, "run the concurrent query service instead of the REPL")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address for -serve")
 	)
 	flag.Parse()
 	if *ensemble == "" {
 		log.Fatal("infera: -ensemble is required (generate one with haccgen)")
+	}
+
+	if *serve {
+		runService(*ensemble, *work, *addr, *seed, *server)
+		return
 	}
 
 	cfg := core.Config{
@@ -86,11 +100,39 @@ func main() {
 			ans.SessionID, ans.State.Usage.Total(), ans.State.RedoCount,
 			float64(ans.DBBytes+ans.ProvenanceBytes)/1e6,
 			100*ans.StorageOverheadFraction(), ans.Duration.Round(1e6))
-		for _, e := range ans.Artifacts {
-			if e.Kind == "plot" || e.Kind == "scene" {
-				fmt.Printf("  artifact: %s (%s)\n", e.File, e.Kind)
-			}
+		for _, e := range ans.ArtifactsOfKind("plot", "scene") {
+			fmt.Printf("  artifact: %s (%s)\n", e.File, e.Kind)
 		}
+	}
+}
+
+// runService starts the same daemon as cmd/inferad with REPL-flavored
+// defaults, so a single binary covers both interactive and serving use.
+func runService(ensemble, work, addr string, seed int64, sandboxServer bool) {
+	svc, err := service.New(service.Config{
+		EnsembleDir: ensemble,
+		WorkDir:     work,
+		Seed:        seed,
+		UseServer:   sandboxServer,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.NewServer(svc)
+	if err := srv.Start(addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("infera: serving %s on http://%s (POST /ask)", ensemble, srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	// Drain in-flight questions before closing the listener.
+	if err := svc.Close(); err != nil {
+		log.Printf("infera: service close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("infera: http close: %v", err)
 	}
 }
 

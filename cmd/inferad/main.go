@@ -1,0 +1,115 @@
+// Command inferad is the InferA query daemon: the serving layer that turns
+// the single-user REPL workflow into a concurrent multi-session service.
+// It loads one ensemble into a pool of assistants, answers JSON questions
+// over HTTP through a bounded worker queue, and short-circuits repeat
+// questions with an LRU answer cache keyed by (ensemble fingerprint,
+// normalized question, model seed).
+//
+// Usage:
+//
+//	inferad -ensemble DIR [-addr 127.0.0.1:8080] [-work DIR] [-workers 4]
+//	        [-queue 64] [-cache 128] [-seed 1] [-trim] [-skipdoc] [-sandbox-server]
+//
+// # Serving
+//
+// Ask a question (blocks until the two-stage workflow finishes, or returns
+// instantly on a cache hit):
+//
+//	curl -s localhost:8080/ask -d '{"question": "top 20 largest halos at timestep 498 in simulation 0", "seed": 1}'
+//
+// The response carries the answer table as CSV, the plan size, token usage,
+// artifact references and the provenance session ID. Inspect the service:
+//
+//	curl -s localhost:8080/sessions                       # all session records
+//	curl -s localhost:8080/sessions/q-0001                # one record
+//	curl -s localhost:8080/sessions/q-0001/provenance     # artifact manifest
+//	curl -s localhost:8080/healthz                        # liveness
+//	curl -s localhost:8080/metrics                        # queue + cache counters
+//
+// Concurrency model: -workers assistants each own isolated staging
+// databases and provenance stores, so N questions run in parallel without
+// sharing mutable state; -queue bounds pending requests beyond that, and a
+// full queue answers 503 with Retry-After (backpressure instead of
+// unbounded memory). Repeat questions against an unchanged ensemble are
+// answered from the cache in microseconds, and concurrent identical
+// questions coalesce into a single computation; any change to the ensemble
+// directory (new run, regenerated step) re-fingerprints and invalidates
+// stale answers automatically.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"infera/internal/llm"
+	"infera/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		ensemble = flag.String("ensemble", "", "ensemble directory (required; see haccgen)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		work     = flag.String("work", "", "working directory for staging DBs and provenance (default: temp)")
+		workers  = flag.Int("workers", 0, "assistant pool size (0 = min(4, GOMAXPROCS))")
+		queue    = flag.Int("queue", 64, "pending-request queue depth")
+		cacheSz  = flag.Int("cache", 128, "answer cache capacity (entries)")
+		maxSess  = flag.Int("max-sessions", 4096, "session-record history bound")
+		seed     = flag.Int64("seed", 1, "default model seed for requests without one")
+		trim     = flag.Bool("trim", true, "trim supervisor history (token optimization)")
+		skipdoc  = flag.Bool("skipdoc", false, "skip the documentation agent")
+		sandboxS = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
+		verbose  = flag.Bool("v", false, "log per-request progress")
+	)
+	flag.Parse()
+	if *ensemble == "" {
+		log.Fatal("inferad: -ensemble is required (generate one with haccgen)")
+	}
+
+	cfg := service.Config{
+		EnsembleDir:       *ensemble,
+		WorkDir:           *work,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSz,
+		MaxSessions:       *maxSess,
+		Seed:              *seed,
+		TrimHistory:       *trim,
+		SkipDocumentation: *skipdoc,
+		UseServer:         *sandboxS,
+		NewModel: func(seed int64) llm.Client {
+			return llm.NewSim(llm.SimConfig{Seed: seed})
+		},
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.NewServer(svc)
+	if err := srv.Start(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("inferad: serving ensemble %s on http://%s (%d workers, queue %d, cache %d)",
+		*ensemble, srv.Addr(), svc.Metrics().Workers, *queue, *cacheSz)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("inferad: shutting down")
+	// Drain the service first so in-flight /ask handlers get their answers
+	// (late arrivals see 503), then close the listener, which waits for
+	// those handlers to finish writing.
+	if err := svc.Close(); err != nil {
+		log.Printf("inferad: service close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("inferad: http close: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module infera
+
+go 1.22

@@ -123,6 +123,23 @@ type Result struct {
 	Duration  time.Duration
 }
 
+// ArtifactsOfKind filters the provenance trail by artifact kind ("plot",
+// "scene", "data", ...), preserving manifest order — the shared plumbing the
+// CLI and the serving layer use to surface renderable outputs.
+func (r *Result) ArtifactsOfKind(kinds ...string) []provenance.Entry {
+	want := map[string]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []provenance.Entry
+	for _, e := range r.Artifacts {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // TaskCompleteness returns the fraction of planned steps completed.
 func (r *Result) TaskCompleteness() float64 {
 	if len(r.State.Plan.Steps) == 0 {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"infera/internal/agent"
 	"infera/internal/hacc"
@@ -25,6 +26,10 @@ import (
 type Config struct {
 	// EnsembleDir is the root of a generated ensemble (hacc.Generate).
 	EnsembleDir string
+	// Catalog reuses an already-loaded ensemble catalog — it is read-only
+	// after load, so a serving layer pooling many Assistants over one
+	// ensemble loads it once and shares it. Nil loads EnsembleDir.
+	Catalog *hacc.Catalog
 	// WorkDir holds staging databases and provenance sessions; a temp dir
 	// is created when empty.
 	WorkDir string
@@ -47,7 +52,11 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Assistant answers questions over one ensemble.
+// Assistant answers questions over one ensemble. It is safe for concurrent
+// use: Ask may be called from multiple goroutines, each call running against
+// its own session, staging database and sandbox runner. The shared pieces —
+// catalog, retrieval index, script registry — are read-only after New, and
+// session-ID/workdir allocation is guarded by mu.
 type Assistant struct {
 	cfg      Config
 	catalog  *hacc.Catalog
@@ -57,17 +66,24 @@ type Assistant struct {
 	registry script.Registry
 	server   *sandbox.Server
 	workDir  string
-	nextID   int
+
+	mu     sync.Mutex
+	nextID int
 }
 
 // New opens the ensemble and prepares the assistant.
 func New(cfg Config) (*Assistant, error) {
-	cat, err := hacc.Load(cfg.EnsembleDir)
-	if err != nil {
-		return nil, err
+	cat := cfg.Catalog
+	if cat == nil {
+		var err error
+		cat, err = hacc.Load(cfg.EnsembleDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	workDir := cfg.WorkDir
 	if workDir == "" {
+		var err error
 		workDir, err = os.MkdirTemp("", "infera-work-*")
 		if err != nil {
 			return nil, err
@@ -113,6 +129,16 @@ func (a *Assistant) Close() error {
 
 // Catalog exposes the loaded ensemble catalog.
 func (a *Assistant) Catalog() *hacc.Catalog { return a.catalog }
+
+// WorkDir returns the directory holding staging databases and sessions.
+func (a *Assistant) WorkDir() string { return a.workDir }
+
+// RemoveStagingDB deletes the staging database created for sessionID —
+// scratch space once the answer is computed, which a serving layer
+// reclaims to keep disk usage bounded. The provenance trail is unaffected.
+func (a *Assistant) RemoveStagingDB(sessionID string) error {
+	return os.RemoveAll(filepath.Join(a.workDir, "db", sessionID))
+}
 
 // Model exposes the configured language model.
 func (a *Assistant) Model() llm.Client { return a.model }
@@ -169,12 +195,42 @@ func (a *Assistant) BranchSession(sessionID string, upTo int) (string, error) {
 	return newID, nil
 }
 
+// AskOptions customizes a single question without reconfiguring the
+// Assistant — the per-request knobs the serving layer needs.
+type AskOptions struct {
+	// Model overrides the Assistant's model for this question only (e.g. a
+	// per-request seed). Nil uses the configured model.
+	Model llm.Client
+	// SessionID names the provenance session explicitly. Empty allocates
+	// the next sequential "session-NNN" ID.
+	SessionID string
+}
+
 // Ask runs the full workflow for one question. The returned error is
 // non-nil when the run terminated before completing its plan; the Answer
 // still carries partial state, usage and provenance.
 func (a *Assistant) Ask(question string) (*Answer, error) {
+	return a.AskWith(question, AskOptions{})
+}
+
+// allocSessionID hands out the next sequential session ID under the lock;
+// concurrent Asks therefore never collide on session directories or
+// staging-database paths, which are both derived from it.
+func (a *Assistant) allocSessionID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.nextID++
-	sessionID := fmt.Sprintf("session-%03d", a.nextID)
+	return fmt.Sprintf("session-%03d", a.nextID)
+}
+
+// AskWith runs the full workflow for one question with per-request options.
+// It is safe to call concurrently: every invocation gets its own provenance
+// session, staging database directory and sandbox runner.
+func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
+	sessionID := opts.SessionID
+	if sessionID == "" {
+		sessionID = a.allocSessionID()
+	}
 	sess, err := a.store.NewSession(sessionID)
 	if err != nil {
 		return nil, err
@@ -192,8 +248,12 @@ func (a *Assistant) Ask(question string) (*Answer, error) {
 		runner = &sandbox.Executor{Registry: a.registry}
 	}
 
+	model := opts.Model
+	if model == nil {
+		model = a.model
+	}
 	rt := &agent.Runtime{
-		Model:             a.model,
+		Model:             model,
 		Catalog:           a.catalog,
 		DB:                db,
 		Sandbox:           runner,

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"infera/internal/llm"
+)
+
+// TestConcurrentAsk exercises one Assistant from 8 goroutines under -race:
+// session IDs must stay unique, every run must complete, and every
+// provenance trail must verify. This pins the fix for the unsynchronized
+// nextID increment the single-user REPL never noticed.
+func TestConcurrentAsk(t *testing.T) {
+	a := newAssistant(t, Config{})
+	const parallel = 8
+	questions := []string{
+		"Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+		"Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+	}
+
+	var wg sync.WaitGroup
+	answers := make([]*Answer, parallel)
+	errs := make([]error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], errs[i] = a.AskWith(questions[i%len(questions)], AskOptions{
+				Model: llm.NewSim(llm.SimConfig{Seed: int64(i) + 1, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9}),
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	for i := 0; i < parallel; i++ {
+		if errs[i] != nil {
+			t.Fatalf("ask %d: %v", i, errs[i])
+		}
+		if answers[i].Answer == nil || !answers[i].State.Done {
+			t.Fatalf("ask %d incomplete: %+v", i, answers[i].State)
+		}
+		if seen[answers[i].SessionID] {
+			t.Fatalf("duplicate session ID %q", answers[i].SessionID)
+		}
+		seen[answers[i].SessionID] = true
+		bad, err := a.VerifySession(answers[i].SessionID)
+		if err != nil || len(bad) != 0 {
+			t.Fatalf("ask %d provenance verify: bad=%v err=%v", i, bad, err)
+		}
+	}
+}
+
+// TestAskWithExplicitSessionID checks service-style session naming and the
+// duplicate-ID failure mode.
+func TestAskWithExplicitSessionID(t *testing.T) {
+	a := newAssistant(t, Config{})
+	ans, err := a.AskWith("Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+		AskOptions{SessionID: "svc-0001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.SessionID != "svc-0001" {
+		t.Fatalf("session ID = %q, want svc-0001", ans.SessionID)
+	}
+	if _, err := a.AskWith("anything", AskOptions{SessionID: "svc-0001"}); err == nil {
+		t.Fatal("duplicate session ID should fail")
+	}
+}
+
+// TestConcurrentSessionIDAllocation hammers allocSessionID alone — a pure
+// -race probe independent of workflow runtime.
+func TestConcurrentSessionIDAllocation(t *testing.T) {
+	a := newAssistant(t, Config{})
+	const n = 64
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = a.allocSessionID()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if id == "" || seen[id] {
+			t.Fatalf("slot %d: bad or duplicate id %q (%v)", i, id, ids)
+		}
+		seen[id] = true
+	}
+	if want := fmt.Sprintf("session-%03d", n); !seen[want] {
+		t.Errorf("missing final id %s", want)
+	}
+}

@@ -57,11 +57,17 @@ type Session struct {
 
 const manifestName = "manifest.jsonl"
 
-// NewSession creates a fresh session directory.
+// NewSession creates a fresh session directory. Creation is atomic — the
+// exclusive os.Mkdir claims the ID — so concurrent callers racing on the
+// same ID get exactly one winner instead of two sessions sharing a
+// directory.
 func (s *Store) NewSession(id string) (*Session, error) {
 	dir := filepath.Join(s.Root, id)
-	if _, err := os.Stat(dir); err == nil {
-		return nil, fmt.Errorf("provenance: session %q already exists", id)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("provenance: session %q already exists", id)
+		}
+		return nil, err
 	}
 	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
 		return nil, err

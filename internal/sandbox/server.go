@@ -88,7 +88,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	for name, csvText := range req.Tables {
 		f, err := dataframe.ReadCSV(bytes.NewReader([]byte(csvText)))
 		if err != nil {
-			writeJSON(w, execResponse{Error: "ValueError: table " + name + ": " + err.Error()})
+			WriteJSON(w, execResponse{Error: "ValueError: table " + name + ": " + err.Error()})
 			return
 		}
 		tables[name] = f
@@ -107,10 +107,12 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			resp.Artifacts[name] = base64.StdEncoding.EncodeToString(data)
 		}
 	}
-	writeJSON(w, resp)
+	WriteJSON(w, resp)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON encodes v as the JSON response body — the wire idiom shared by
+// the sandbox execution server and the query service HTTP API.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// CacheKey identifies one answerable unit of work: the same question (after
+// normalization) against the same ensemble state with the same model seed is
+// the same computation, so its answer can be served from memory.
+type CacheKey struct {
+	Fingerprint string
+	Question    string // normalized
+	Seed        int64
+}
+
+// NormalizeQuestion canonicalizes a question for cache lookup: lower-cased,
+// whitespace collapsed, trailing punctuation dropped. "Top 20 halos?" and
+// "top 20  halos" hit the same entry.
+func NormalizeQuestion(q string) string {
+	q = strings.Join(strings.Fields(q), " ")
+	q = strings.ToLower(q)
+	return strings.TrimRightFunc(q, func(r rune) bool {
+		return unicode.IsPunct(r) || unicode.IsSpace(r)
+	})
+}
+
+// CacheStats are the cache's monotonic counters, surfaced on /metrics.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Len       int   `json:"len"`
+	Cap       int   `json:"cap"`
+}
+
+// Cache is a bounded LRU over completed answers. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[CacheKey]*list.Element
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val *AskResult
+}
+
+// NewCache returns an LRU holding at most capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: map[CacheKey]*list.Element{}}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key CacheKey) (*AskResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) Put(key CacheKey, val *AskResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Len = c.ll.Len()
+	st.Cap = c.cap
+	return st
+}

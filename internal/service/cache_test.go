@@ -1,0 +1,70 @@
+package service
+
+import "testing"
+
+func TestNormalizeQuestion(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Top 20 largest halos?", "top 20 largest halos"},
+		{"  top 20   LARGEST halos ", "top 20 largest halos"},
+		{"top 20 largest halos!!", "top 20 largest halos"},
+		{"plot mass (fof_halo_mass) over time", "plot mass (fof_halo_mass) over time"},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuestion(c.in); got != c.want {
+			t.Errorf("NormalizeQuestion(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func key(q string) CacheKey { return CacheKey{Fingerprint: "fp", Question: q, Seed: 1} }
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(key("a"), &AskResult{SessionID: "a"})
+	c.Put(key("b"), &AskResult{SessionID: "b"})
+	if got, ok := c.Get(key("a")); !ok || got.SessionID != "a" {
+		t.Fatalf("get a = %v %v", got, ok)
+	}
+	// "b" is now LRU; inserting "c" evicts it.
+	c.Put(key("c"), &AskResult{SessionID: "c"})
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 || st.Len != 2 || st.Cap != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c := NewCache(8)
+	c.Put(CacheKey{Fingerprint: "fp1", Question: "q", Seed: 1}, &AskResult{SessionID: "s1"})
+	// Different fingerprint, question or seed must all miss.
+	for _, k := range []CacheKey{
+		{Fingerprint: "fp2", Question: "q", Seed: 1},
+		{Fingerprint: "fp1", Question: "q2", Seed: 1},
+		{Fingerprint: "fp1", Question: "q", Seed: 2},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("key %+v should miss", k)
+		}
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put(key("a"), &AskResult{SessionID: "a1"})
+	c.Put(key("a"), &AskResult{SessionID: "a2"})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if got, _ := c.Get(key("a")); got.SessionID != "a2" {
+		t.Errorf("refresh lost: %v", got)
+	}
+}

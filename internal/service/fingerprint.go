@@ -1,0 +1,52 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+)
+
+// Fingerprint hashes an ensemble directory's structure — every file's
+// relative path, size and modification time — into a stable hex digest.
+// It is the cache-key component that invalidates answers when the
+// underlying data changes: touching, replacing or adding any file under
+// the ensemble root yields a different fingerprint without reading file
+// contents, so the per-request cost stays at a stat walk.
+func Fingerprint(dir string) (string, error) {
+	type stamp struct {
+		rel   string
+		size  int64
+		mtime int64
+	}
+	var stamps []stamp
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		stamps = append(stamps, stamp{rel: rel, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("service: fingerprint %s: %w", dir, err)
+	}
+	sort.Slice(stamps, func(a, b int) bool { return stamps[a].rel < stamps[b].rel })
+	h := sha256.New()
+	for _, s := range stamps {
+		fmt.Fprintf(h, "%s\x00%d\x00%d\x00", s.rel, s.size, s.mtime)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"infera/internal/sandbox"
+)
+
+// Server exposes a Service over HTTP, reusing the JSON wire idiom of the
+// sandbox execution server. Endpoints:
+//
+//	POST /ask                        {"question": ..., "seed": ...} -> AskResult
+//	GET  /sessions                   -> []SessionInfo
+//	GET  /sessions/{id}              -> SessionInfo
+//	GET  /sessions/{id}/provenance   -> []provenance.Entry
+//	GET  /healthz                    -> "ok"
+//	GET  /metrics                    -> Metrics
+type Server struct {
+	svc  *Service
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer returns an unstarted HTTP front-end for svc.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /sessions/{id}/provenance", s.handleProvenance)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		sandbox.WriteJSON(w, s.svc.Metrics())
+	})
+	s.http = &http.Server{Handler: mux, ReadTimeout: 30 * time.Second}
+	return s
+}
+
+// Start listens on addr ("" = 127.0.0.1:0) and serves in the background.
+func (s *Server) Start(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the listening address (host:port); empty before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close gracefully shuts the HTTP listener down, waiting for active
+// handlers (the Service itself is closed separately by its owner — close
+// it first so handlers blocked in Ask drain rather than hang here).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+// errorBody is the wire form of a failed request.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// maxAskBody bounds the /ask request body; questions are sentences, so
+// anything past 1 MB is abuse, not traffic.
+const maxAskBody = 1 << 20
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req AskRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	res, err := s.svc.Ask(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrEmptyQuestion):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		// Anything else is a server-side condition (e.g. the ensemble dir
+		// became unreadable mid-fingerprint), not a client mistake.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Workflow failures still return 200 with res.Error set: the request
+	// was served and its partial state is inspectable via provenance.
+	sandbox.WriteJSON(w, res)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	sandbox.WriteJSON(w, s.svc.Sessions())
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.svc.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	sandbox.WriteJSON(w, info)
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.svc.Provenance(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sandbox.WriteJSON(w, entries)
+}

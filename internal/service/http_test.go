@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"infera/internal/provenance"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	svc := newService(t, cfg)
+	srv := NewServer(svc)
+	if err := srv.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, "http://" + srv.Addr()
+}
+
+func postAsk(t *testing.T, base string, req AskRequest) (*AskResult, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/ask", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out AskResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPAskSessionsProvenanceMetrics(t *testing.T) {
+	_, base := startServer(t, Config{Workers: 2})
+
+	// healthz first.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	res, code := postAsk(t, base, AskRequest{Question: topHalosQ})
+	if code != http.StatusOK || res.Error != "" || res.Rows != 20 {
+		t.Fatalf("ask: code=%d res=%+v", code, res)
+	}
+
+	// Repeat over the wire: cache hit.
+	res2, _ := postAsk(t, base, AskRequest{Question: topHalosQ})
+	if !res2.Cached || res2.SessionID != res.SessionID {
+		t.Fatalf("second ask = %+v", res2)
+	}
+
+	var sessions []SessionInfo
+	if code := getJSON(t, base+"/sessions", &sessions); code != http.StatusOK || len(sessions) != 2 {
+		t.Fatalf("sessions: %d %v", code, sessions)
+	}
+
+	var one SessionInfo
+	if code := getJSON(t, base+"/sessions/"+res.RequestID, &one); code != http.StatusOK || one.Status != "done" {
+		t.Fatalf("session: %d %+v", code, one)
+	}
+
+	var entries []provenance.Entry
+	if code := getJSON(t, base+"/sessions/"+res.RequestID+"/provenance", &entries); code != http.StatusOK || len(entries) == 0 {
+		t.Fatalf("provenance: %d %d entries", code, len(entries))
+	}
+	// The cached record resolves to the same trail.
+	var viaCache []provenance.Entry
+	if code := getJSON(t, base+"/sessions/"+res2.RequestID+"/provenance", &viaCache); code != http.StatusOK || len(viaCache) != len(entries) {
+		t.Fatalf("cached provenance: %d %d vs %d", code, len(viaCache), len(entries))
+	}
+
+	var m Metrics
+	if code := getJSON(t, base+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Completed != 1 || m.CachedTotal != 1 || m.Cache.Hits != 1 || m.Fingerprint == "" {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	// Unknown session -> 404.
+	var dummy SessionInfo
+	if code := getJSON(t, base+"/sessions/q-9999", &dummy); code != http.StatusNotFound {
+		t.Errorf("unknown session code = %d", code)
+	}
+	// Bad body -> 400.
+	badResp, err := http.Post(base+"/ask", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body code = %d", badResp.StatusCode)
+	}
+	// Empty question -> 400 (validation, not a server error).
+	emptyResp, err := http.Post(base+"/ask", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyResp.Body.Close()
+	if emptyResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty question code = %d", emptyResp.StatusCode)
+	}
+	// Oversized body -> rejected before it can buffer unbounded memory.
+	huge := append([]byte(`{"question": "`), bytes.Repeat([]byte("x"), maxAskBody+1024)...)
+	huge = append(huge, []byte(`"}`)...)
+	hugeResp, err := http.Post(base+"/ask", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hugeResp.Body.Close()
+	if hugeResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body code = %d", hugeResp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentAsks is the acceptance check: >= 8 concurrent POST /ask
+// against one daemon, per-session provenance intact.
+func TestHTTPConcurrentAsks(t *testing.T) {
+	srv, base := startServer(t, Config{Workers: 4, QueueDepth: 32})
+
+	questions := []string{
+		topHalosQ,
+		"Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+	}
+	const parallel = 8
+	results := make([]*AskResult, parallel)
+	codes := make([]int, parallel)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], codes[i] = postAsk(t, base, AskRequest{
+				Question: questions[i%len(questions)],
+				Seed:     int64(i) + 1,
+			})
+		}(i)
+	}
+	wg.Wait()
+	t.Logf("%d concurrent asks served in %s", parallel, time.Since(start).Round(time.Millisecond))
+
+	seen := map[string]bool{}
+	for i := 0; i < parallel; i++ {
+		if codes[i] != http.StatusOK || results[i] == nil || results[i].Error != "" {
+			t.Fatalf("ask %d: code=%d res=%+v", i, codes[i], results[i])
+		}
+		if seen[results[i].SessionID] {
+			t.Fatalf("duplicate session %q", results[i].SessionID)
+		}
+		seen[results[i].SessionID] = true
+		var entries []provenance.Entry
+		if code := getJSON(t, fmt.Sprintf("%s/sessions/%s/provenance", base, results[i].RequestID), &entries); code != http.StatusOK || len(entries) == 0 {
+			t.Fatalf("ask %d provenance: %d with %d entries", i, code, len(entries))
+		}
+		if bad, err := srv.svc.VerifySession(results[i].RequestID); err != nil || len(bad) != 0 {
+			t.Fatalf("ask %d verify: %v %v", i, bad, err)
+		}
+	}
+}

@@ -1,0 +1,591 @@
+// Package service turns the one-shot core.Assistant into a concurrent
+// multi-session query service: a session manager owns a pool of
+// per-ensemble Assistants, a bounded worker pool drains a request queue so
+// N questions run concurrently against isolated staging databases, and an
+// LRU answer cache keyed by (ensemble fingerprint, normalized question,
+// seed) short-circuits repeat questions. Concurrent identical misses
+// single-flight into one computation, and the session-record history is
+// bounded by MaxSessions. The HTTP API in http.go exposes the whole thing
+// as a daemon (cmd/inferad).
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"infera/internal/core"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/provenance"
+)
+
+// Config configures a Service.
+type Config struct {
+	// EnsembleDir is the root of a generated ensemble (required).
+	EnsembleDir string
+	// WorkDir holds per-worker staging state; temp dirs when empty.
+	WorkDir string
+	// Workers is the assistant-pool size — the concurrency bound. Defaults
+	// to min(4, GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending requests beyond the running ones; a full
+	// queue rejects with ErrQueueFull (backpressure, not OOM). Default 64.
+	QueueDepth int
+	// CacheSize is the answer-cache capacity in entries. Default 128.
+	CacheSize int
+	// MaxSessions bounds the in-memory session-record history; the oldest
+	// finished records are dropped past it (their on-disk provenance
+	// remains, but /sessions no longer lists them). Default 4096.
+	MaxSessions int
+	// Seed is the default model seed for requests that don't set one.
+	Seed int64
+	// NewModel builds the per-request model from the request seed. Defaults
+	// to llm.NewSim(llm.SimConfig{Seed: seed}).
+	NewModel func(seed int64) llm.Client
+	// TrimHistory, SkipDocumentation and MaxRevisions are forwarded to
+	// every pooled Assistant.
+	TrimHistory       bool
+	SkipDocumentation bool
+	MaxRevisions      int
+	// UseServer executes sandbox code over loopback HTTP per assistant.
+	UseServer bool
+	// KeepStagingDBs preserves per-question staging databases after the
+	// answer is computed. Off by default: the daemon reclaims them once
+	// the workflow finishes (the provenance trail, which /sessions serves,
+	// is kept either way), so sustained unique-question load doesn't grow
+	// disk without bound.
+	KeepStagingDBs bool
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+// Errors returned by Ask.
+var (
+	ErrQueueFull     = errors.New("service: request queue full")
+	ErrClosed        = errors.New("service: closed")
+	ErrEmptyQuestion = errors.New("service: empty question")
+)
+
+// ArtifactRef is the wire form of a provenance artifact pointer.
+type ArtifactRef struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+}
+
+// AskRequest is one question for the service.
+type AskRequest struct {
+	Question string `json:"question"`
+	// Seed selects the model stream; 0 uses the service default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AskResult is the wire answer for one request.
+type AskResult struct {
+	// RequestID is the service-level session record for this request.
+	RequestID string `json:"request_id"`
+	// SessionID is the provenance session holding the artifact trail; for
+	// cached answers it points at the session that originally computed it.
+	SessionID string `json:"session_id"`
+	Question  string `json:"question"`
+	Seed      int64  `json:"seed"`
+	Cached    bool   `json:"cached"`
+
+	Summary      string        `json:"summary,omitempty"`
+	AnswerCSV    string        `json:"answer_csv,omitempty"`
+	Rows         int           `json:"rows"`
+	PlanSteps    int           `json:"plan_steps"`
+	Tokens       int           `json:"tokens"`
+	RedoCount    int           `json:"redo_count"`
+	StorageBytes int64         `json:"storage_bytes"`
+	Artifacts    []ArtifactRef `json:"artifacts,omitempty"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Error        string        `json:"error,omitempty"`
+}
+
+// SessionInfo is the service-level record of one request's lifecycle.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Question string `json:"question"`
+	Seed     int64  `json:"seed"`
+	// Status is "queued", "running", "done", "failed", "cached" or
+	// "rejected" (backpressure: the request never ran).
+	Status string `json:"status"`
+	Worker int    `json:"worker"`
+	// SourceSession, for cached requests, names the session whose answer
+	// was served; its provenance trail answers /provenance for this record.
+	SourceSession string    `json:"source_session,omitempty"`
+	Enqueued      time.Time `json:"enqueued"`
+	Started       time.Time `json:"started"`
+	Finished      time.Time `json:"finished"`
+	Tokens        int       `json:"tokens"`
+	Error         string    `json:"error,omitempty"`
+}
+
+// Metrics is the /metrics snapshot.
+type Metrics struct {
+	Workers     int        `json:"workers"`
+	QueueDepth  int        `json:"queue_depth"`
+	QueueLen    int        `json:"queue_len"`
+	Queued      int64      `json:"queued_total"`
+	Running     int64      `json:"running"`
+	Completed   int64      `json:"completed_total"`
+	Failed      int64      `json:"failed_total"`
+	Rejected    int64      `json:"rejected_total"`
+	CachedTotal int64      `json:"cached_total"`
+	Tokens      int64      `json:"tokens_total"`
+	Cache       CacheStats `json:"cache"`
+	Fingerprint string     `json:"fingerprint"`
+	// FingerprintError reports a failed ensemble-dir walk (e.g. unmounted
+	// volume) so monitors can tell a broken fingerprint from a real one.
+	FingerprintError string `json:"fingerprint_error,omitempty"`
+}
+
+type task struct {
+	info *SessionInfo
+	req  AskRequest
+	key  CacheKey
+	done chan *AskResult
+}
+
+// Service is the concurrent multi-session query front-end over a pool of
+// Assistants. Create with New, serve over HTTP with NewServer, release with
+// Close.
+type Service struct {
+	cfg        Config
+	assistants []*core.Assistant
+	cache      *Cache
+	queue      chan *task
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	sessions map[string]*SessionInfo
+	order    []string
+	// sessionWorker maps provenance session ID -> assistant index, so the
+	// provenance endpoint can find the right store.
+	sessionWorker map[string]int
+	// inflight coalesces concurrent identical cache misses: the first
+	// request for a key computes, the rest wait on its done channel and
+	// then serve from the freshly populated cache (single-flight).
+	inflight map[CacheKey]chan struct{}
+	m        Metrics
+}
+
+// New builds the assistant pool and starts the workers.
+func New(cfg Config) (*Service, error) {
+	if cfg.EnsembleDir == "" {
+		return nil, errors.New("service: EnsembleDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 4 {
+			cfg.Workers = 4
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.NewModel == nil {
+		cfg.NewModel = func(seed int64) llm.Client {
+			return llm.NewSim(llm.SimConfig{Seed: seed})
+		}
+	}
+
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4096
+	}
+
+	s := &Service{
+		cfg:           cfg,
+		cache:         NewCache(cfg.CacheSize),
+		queue:         make(chan *task, cfg.QueueDepth),
+		sessions:      map[string]*SessionInfo{},
+		sessionWorker: map[string]int{},
+		inflight:      map[CacheKey]chan struct{}{},
+	}
+	// The catalog is read-only after load; one load serves the whole pool.
+	cat, err := hacc.Load(cfg.EnsembleDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: load ensemble: %w", err)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		workDir := ""
+		if cfg.WorkDir != "" {
+			workDir = filepath.Join(cfg.WorkDir, fmt.Sprintf("worker-%02d", i))
+		}
+		a, err := core.New(core.Config{
+			EnsembleDir:       cfg.EnsembleDir,
+			Catalog:           cat,
+			WorkDir:           workDir,
+			Seed:              cfg.Seed,
+			TrimHistory:       cfg.TrimHistory,
+			SkipDocumentation: cfg.SkipDocumentation,
+			MaxRevisions:      cfg.MaxRevisions,
+			UseServer:         cfg.UseServer,
+			Logf:              cfg.Logf,
+		})
+		if err != nil {
+			for _, prev := range s.assistants {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("service: assistant %d: %w", i, err)
+		}
+		s.assistants = append(s.assistants, a)
+	}
+	for i, a := range s.assistants {
+		s.wg.Add(1)
+		go s.worker(i, a)
+	}
+	return s, nil
+}
+
+// Close drains the queue, stops the workers and releases the assistants.
+// Pending requests complete; new Asks fail with ErrClosed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	var first error
+	for _, a := range s.assistants {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Ask answers one question, serving from the cache when possible and
+// otherwise queueing it for a pooled worker. Concurrent identical misses
+// coalesce: one request computes, the rest wait and serve from the freshly
+// populated cache. Ask blocks until the answer is ready; concurrency comes
+// from calling it from many goroutines (each HTTP request does). A full
+// queue fails fast with ErrQueueFull.
+func (s *Service) Ask(req AskRequest) (*AskResult, error) {
+	if req.Question == "" {
+		return nil, ErrEmptyQuestion
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	req.Seed = seed
+	start := time.Now()
+	fp, err := Fingerprint(s.cfg.EnsembleDir)
+	if err != nil {
+		return nil, err
+	}
+	key := CacheKey{Fingerprint: fp, Question: NormalizeQuestion(req.Question), Seed: seed}
+
+	// Cache lookup and leader election are one atomic step under mu, so a
+	// burst of identical questions yields exactly one miss (the leader's);
+	// followers wait without touching the counters and score a hit once
+	// the leader has populated the cache.
+	var done chan struct{}
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		wait := s.inflight[key]
+		if wait == nil {
+			if hit, ok := s.cache.Get(key); ok {
+				s.mu.Unlock()
+				return s.serveCached(req, hit, start), nil
+			}
+			done = make(chan struct{})
+			s.inflight[key] = done
+			s.mu.Unlock()
+			break // this request is the leader: compute below
+		}
+		s.mu.Unlock()
+		// Another request is computing this exact key; wait for it, then
+		// re-check (a failed leader leaves the cache unpopulated, and the
+		// next pass elects a new leader).
+		<-wait
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(done)
+	}()
+
+	info := s.newSessionRecord(req, "queued")
+	t := &task{info: info, req: req, key: key, done: make(chan *AskResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.m.Rejected++
+		s.mu.Unlock()
+		s.finishRecord(info, "rejected", 0, ErrClosed.Error())
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- t:
+		s.m.Queued++
+		s.mu.Unlock()
+	default:
+		s.m.Rejected++
+		s.mu.Unlock()
+		s.finishRecord(info, "rejected", 0, ErrQueueFull.Error())
+		return nil, ErrQueueFull
+	}
+	return <-t.done, nil
+}
+
+// serveCached records and returns a cache hit.
+func (s *Service) serveCached(req AskRequest, hit *AskResult, start time.Time) *AskResult {
+	info := s.newSessionRecord(req, "cached")
+	now := time.Now()
+	s.mu.Lock()
+	info.SourceSession = hit.SessionID
+	info.Started, info.Finished = now, now
+	info.Tokens = 0 // served from memory: no model calls
+	s.m.CachedTotal++
+	s.mu.Unlock()
+	out := *hit
+	out.RequestID = info.ID
+	out.Question = req.Question // echo this request's phrasing, not the original's
+	out.Cached = true
+	out.Elapsed = time.Since(start)
+	s.logf("service: %s cache hit for %q (session %s)", info.ID, req.Question, hit.SessionID)
+	return &out
+}
+
+// newSessionRecord allocates the next service session ID and records it,
+// dropping the oldest finished records past MaxSessions so a long-running
+// daemon's history stays bounded.
+func (s *Service) newSessionRecord(req AskRequest, status string) *SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	info := &SessionInfo{
+		ID:       fmt.Sprintf("q-%04d", s.nextID),
+		Question: req.Question,
+		Seed:     req.Seed,
+		Status:   status,
+		Worker:   -1,
+		Enqueued: time.Now(),
+	}
+	s.sessions[info.ID] = info
+	s.order = append(s.order, info.ID)
+	for len(s.order) > s.cfg.MaxSessions {
+		oldest := s.sessions[s.order[0]]
+		if oldest.Status == "queued" || oldest.Status == "running" {
+			break // never drop live requests; trim resumes once they finish
+		}
+		delete(s.sessions, oldest.ID)
+		delete(s.sessionWorker, oldest.ID)
+		s.order = s.order[1:]
+	}
+	return info
+}
+
+func (s *Service) finishRecord(info *SessionInfo, status string, tokens int, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info.Status = status
+	info.Finished = time.Now()
+	info.Tokens = tokens
+	info.Error = errMsg
+	switch status {
+	case "done":
+		s.m.Completed++
+	case "failed":
+		s.m.Failed++
+	}
+	s.m.Tokens += int64(tokens)
+}
+
+// worker drains the queue with exclusive ownership of one Assistant.
+func (s *Service) worker(idx int, a *core.Assistant) {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.mu.Lock()
+		t.info.Status = "running"
+		t.info.Worker = idx
+		t.info.Started = time.Now()
+		s.sessionWorker[t.info.ID] = idx
+		s.m.Running++
+		s.mu.Unlock()
+
+		res := s.runTask(idx, a, t)
+
+		s.mu.Lock()
+		s.m.Running--
+		s.mu.Unlock()
+		t.done <- res
+	}
+}
+
+func (s *Service) runTask(idx int, a *core.Assistant, t *task) *AskResult {
+	start := time.Now()
+	ans, runErr := a.AskWith(t.req.Question, core.AskOptions{
+		Model:     s.cfg.NewModel(t.req.Seed),
+		SessionID: t.info.ID,
+	})
+	res := &AskResult{
+		RequestID: t.info.ID,
+		SessionID: t.info.ID,
+		Question:  t.req.Question,
+		Seed:      t.req.Seed,
+		Elapsed:   time.Since(start),
+	}
+	if ans == nil {
+		res.Error = runErr.Error()
+		s.finishRecord(t.info, "failed", 0, res.Error)
+		return res
+	}
+	res.Summary = ans.Summary
+	res.PlanSteps = len(ans.State.Plan.Steps)
+	res.Tokens = ans.State.Usage.Total()
+	res.RedoCount = ans.State.RedoCount
+	res.StorageBytes = ans.DBBytes + ans.ProvenanceBytes
+	for _, e := range ans.Artifacts {
+		res.Artifacts = append(res.Artifacts, ArtifactRef{Kind: e.Kind, Name: e.Name, File: e.File, Bytes: e.Bytes})
+	}
+	if ans.Answer != nil {
+		res.Rows = ans.Answer.NumRows()
+		res.AnswerCSV = frameCSV(ans)
+	}
+	if !s.cfg.KeepStagingDBs {
+		// The staging DB is scratch space once the run finishes; artifacts
+		// live in the provenance trail.
+		_ = a.RemoveStagingDB(t.info.ID)
+	}
+	if runErr != nil {
+		res.Error = runErr.Error()
+		s.finishRecord(t.info, "failed", res.Tokens, res.Error)
+		return res
+	}
+	s.finishRecord(t.info, "done", res.Tokens, "")
+	s.cache.Put(t.key, res)
+	s.logf("service: %s answered %q on worker %d in %s (%d tokens)",
+		t.info.ID, t.req.Question, idx, res.Elapsed.Round(time.Millisecond), res.Tokens)
+	return res
+}
+
+func frameCSV(ans *core.Answer) string {
+	var buf bytes.Buffer
+	if err := ans.Answer.WriteCSV(&buf); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// Sessions returns the session records in creation order.
+func (s *Service) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.sessions[id])
+	}
+	return out
+}
+
+// Session returns one record by ID.
+func (s *Service) Session(id string) (SessionInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.sessions[id]
+	if !ok {
+		return SessionInfo{}, false
+	}
+	return *info, true
+}
+
+// resolveTarget maps a session-record ID to the provenance session that
+// holds its artifact trail (itself, or SourceSession for cached requests)
+// and the assistant whose store contains it. When the backing record was
+// trimmed from the bounded history, the trail is still on disk in one of
+// the pool's stores, so resolution falls back to scanning them — cache
+// entries (and the records serving them) routinely outlive the source
+// session's record.
+func (s *Service) resolveTarget(id string) (string, *core.Assistant, error) {
+	s.mu.Lock()
+	info, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", nil, fmt.Errorf("service: unknown session %q", id)
+	}
+	target := info.ID
+	if info.SourceSession != "" {
+		target = info.SourceSession
+	}
+	idx, ok := s.sessionWorker[target]
+	s.mu.Unlock()
+	if ok {
+		return target, s.assistants[idx], nil
+	}
+	for _, a := range s.assistants {
+		if _, err := a.Store().OpenSession(target); err == nil {
+			return target, a, nil
+		}
+	}
+	return "", nil, fmt.Errorf("service: session %q has no provenance", id)
+}
+
+// Provenance returns the manifest of the provenance session backing record
+// id, following SourceSession for cached requests.
+func (s *Service) Provenance(id string) ([]provenance.Entry, error) {
+	target, a, err := s.resolveTarget(id)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := a.Store().OpenSession(target)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Manifest(), nil
+}
+
+// VerifySession re-hashes the artifact trail backing record id (§4.2.1
+// audit), returning failing entries.
+func (s *Service) VerifySession(id string) ([]provenance.Entry, error) {
+	target, a, err := s.resolveTarget(id)
+	if err != nil {
+		return nil, err
+	}
+	return a.VerifySession(target)
+}
+
+// Metrics returns a point-in-time snapshot of the counters.
+func (s *Service) Metrics() Metrics {
+	fp, fpErr := Fingerprint(s.cfg.EnsembleDir)
+	s.mu.Lock()
+	m := s.m
+	s.mu.Unlock()
+	m.Workers = len(s.assistants)
+	m.QueueDepth = cap(s.queue)
+	m.QueueLen = len(s.queue)
+	m.Cache = s.cache.Stats()
+	m.Fingerprint = fp
+	if fpErr != nil {
+		m.FingerprintError = fpErr.Error()
+	}
+	return m
+}
