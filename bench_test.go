@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"infera/internal/baselines"
 	"infera/internal/core"
@@ -27,6 +28,7 @@ import (
 	"infera/internal/llm"
 	"infera/internal/rag"
 	"infera/internal/service"
+	"infera/internal/stage"
 	"infera/internal/tools"
 	"infera/internal/viz"
 )
@@ -252,11 +254,11 @@ func BenchmarkFigure5ParaViewScene(b *testing.B) {
 	var neighbours int
 	var vtkBytes int
 	for i := 0; i < b.N; i++ {
-		tag, err := tools.NthMostMassiveTag(cat, 0, 624, 0)
+		tag, err := tools.NthMostMassiveTag(nil, cat, 0, 624, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		nb, err := tools.Neighborhood(cat, 0, 624, tag, 20)
+		nb, err := tools.Neighborhood(nil, cat, 0, 624, tag, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -632,6 +634,150 @@ func BenchmarkServiceConcurrentAsk(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSharedStaging measures the shared staging cache against the
+// pre-cache path it replaced: 8 concurrent sessions each stage the same
+// overlapping (sim, step) halo slices, either by re-opening and re-decoding
+// every gio file per session (direct, the old sequential loader behavior)
+// or through one stage.Cache (staged). The benchmark asserts each file is
+// opened and decoded exactly once on the staged path and reports the
+// wall-clock speedup (acceptance bar: >= 2x).
+func BenchmarkSharedStaging(b *testing.B) {
+	dir := ensembleDir(b)
+	cat, err := hacc.Load(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := cat.FilesOf(-1, -1, hacc.FileHalos)
+	if len(entries) == 0 {
+		b.Fatal("no halo files")
+	}
+	cols := []string{"fof_halo_tag", "fof_halo_mass", "fof_halo_count"}
+	const sessions = 8
+
+	runSessions := func(loadAll func() error) {
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := loadAll(); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var directNS, stagedNS int64
+	var opens int64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		runSessions(func() error {
+			for _, e := range entries {
+				r, err := gio.Open(cat.AbsPath(e))
+				if err != nil {
+					return err
+				}
+				_, err = r.ReadColumns(cols...)
+				r.Close()
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		directNS += time.Since(start).Nanoseconds()
+
+		c := stage.New(1<<30, 4) // fresh cache per iteration: all misses once
+		reqs := make([]stage.Request, len(entries))
+		for j, e := range entries {
+			reqs[j] = stage.Request{Path: cat.AbsPath(e), Columns: cols}
+		}
+		start = time.Now()
+		runSessions(func() error {
+			for _, res := range c.LoadAll(reqs) {
+				if res.Err != nil {
+					return res.Err
+				}
+			}
+			return nil
+		})
+		stagedNS += time.Since(start).Nanoseconds()
+		opens = c.Stats().Opens
+	}
+	if opens != int64(len(entries)) {
+		b.Fatalf("staged path must decode each file exactly once: opens = %d, want %d", opens, len(entries))
+	}
+	b.ReportMetric(float64(directNS)/float64(b.N)/1e6, "direct-ms")
+	b.ReportMetric(float64(stagedNS)/float64(b.N)/1e6, "staged-ms")
+	b.ReportMetric(float64(directNS)/float64(stagedNS), "speedup")
+	b.ReportMetric(float64(sessions*len(entries)), "loads")
+	b.ReportMetric(float64(opens), "decodes")
+}
+
+// BenchmarkConcurrentStagedAsk drives 8 concurrent full-workflow sessions
+// per iteration through a service whose assistant pool shares one staging
+// cache. Every session stages the halos table for all sims and steps
+// (maximal slice overlap, distinct seeds so the answer cache never hits),
+// and the benchmark asserts each underlying gio file was decoded exactly
+// once across ALL sessions and iterations — N concurrent sessions cost one
+// decode per file, not N.
+func BenchmarkConcurrentStagedAsk(b *testing.B) {
+	dir := ensembleDir(b)
+	cat, err := hacc.Load(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stage.New(1<<30, 4) // isolated cache so the counters are exact
+	svc, err := service.New(service.Config{
+		EnsembleDir: dir,
+		Workers:     4,
+		QueueDepth:  256,
+		Seed:        1,
+		Stage:       st,
+		NewModel: func(seed int64) llm.Client {
+			return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	const question = "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"
+	const sessions = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := svc.Ask(service.AskRequest{Question: question, Seed: nextBenchSeed()})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if res.Error != "" || res.Cached {
+					b.Errorf("result = %+v", res)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	haloFiles := int64(len(cat.FilesOf(-1, -1, hacc.FileHalos)))
+	stats := st.Stats()
+	if stats.Opens != haloFiles {
+		b.Fatalf("each halo file must decode once across %d sessions x %d iterations: opens = %d, want %d",
+			sessions, b.N, stats.Opens, haloFiles)
+	}
+	b.ReportMetric(float64(stats.Hits)/float64(b.N), "stage-hits/op")
+	b.ReportMetric(float64(stats.Opens), "decodes-total")
+	b.ReportMetric(float64(stats.UsedBytes), "stage-resident-bytes")
 }
 
 // BenchmarkSelectiveIO quantifies the data-reduction substrate itself: the

@@ -183,11 +183,11 @@ func genFig5(out string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	tag, err := tools.NthMostMassiveTag(cat, 0, 624, 0)
+	tag, err := tools.NthMostMassiveTag(nil, cat, 0, 624, 0)
 	if err != nil {
 		return err
 	}
-	nb, err := tools.Neighborhood(cat, 0, 624, tag, 20)
+	nb, err := tools.Neighborhood(nil, cat, 0, 624, tag, 20)
 	if err != nil {
 		return err
 	}

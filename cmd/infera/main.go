@@ -27,6 +27,7 @@ import (
 	"infera/internal/core"
 	"infera/internal/llm"
 	"infera/internal/service"
+	"infera/internal/stage"
 )
 
 func main() {
@@ -39,11 +40,13 @@ func main() {
 		server   = flag.Bool("server", true, "execute sandbox code over a loopback HTTP server")
 		serve    = flag.Bool("serve", false, "run the concurrent query service instead of the REPL")
 		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address for -serve")
+		stageMB  = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB")
 	)
 	flag.Parse()
 	if *ensemble == "" {
 		log.Fatal("infera: -ensemble is required (generate one with haccgen)")
 	}
+	stage.Shared().SetBudget(*stageMB << 20)
 
 	if *serve {
 		runService(*ensemble, *work, *addr, *seed, *server)

@@ -46,6 +46,7 @@ import (
 
 	"infera/internal/llm"
 	"infera/internal/service"
+	"infera/internal/stage"
 )
 
 func main() {
@@ -62,12 +63,17 @@ func main() {
 		trim     = flag.Bool("trim", true, "trim supervisor history (token optimization)")
 		skipdoc  = flag.Bool("skipdoc", false, "skip the documentation agent")
 		sandboxS = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
+		stageMB  = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all sessions)")
+		fpTTL    = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
 		verbose  = flag.Bool("v", false, "log per-request progress")
 	)
 	flag.Parse()
 	if *ensemble == "" {
 		log.Fatal("inferad: -ensemble is required (generate one with haccgen)")
 	}
+	// The staging cache is process-wide (the data loader and the domain
+	// tools share it); the flag sizes that shared instance.
+	stage.Shared().SetBudget(*stageMB << 20)
 
 	cfg := service.Config{
 		EnsembleDir:       *ensemble,
@@ -80,6 +86,7 @@ func main() {
 		TrimHistory:       *trim,
 		SkipDocumentation: *skipdoc,
 		UseServer:         *sandboxS,
+		FingerprintTTL:    *fpTTL,
 		NewModel: func(seed int64) llm.Client {
 			return llm.NewSim(llm.SimConfig{Seed: seed})
 		},

@@ -36,7 +36,7 @@ func testRuntime(t *testing.T, model llm.Client) *Runtime {
 		t.Fatal(err)
 	}
 	reg := script.DefaultRegistry()
-	tools.Register(reg, cat)
+	tools.Register(reg, cat, nil)
 	if model == nil {
 		model = llm.NewSim(llm.SimConfig{Seed: 2, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
 	}

@@ -7,10 +7,10 @@ import (
 	"time"
 
 	"infera/internal/dataframe"
-	"infera/internal/gio"
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/sqldb"
+	"infera/internal/stage"
 )
 
 // Node names.
@@ -201,7 +201,19 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 		needed := llm.NeedColumns(in, entity)
 		fileCols := fileColumns(needed, entity)
 		table := tableNameOf(entity)
-		var total int64
+
+		// Resolve every (sim, step) slice up front, then fan the decode out
+		// over the shared staging cache's worker pool: concurrent sessions
+		// staging overlapping slices share one decode per file, and a
+		// k-snapshot load runs in parallel instead of sequentially.
+		type slice struct {
+			sim, step int
+			params    hacc.Params
+		}
+		var (
+			slices []slice
+			reqs   []stage.Request
+		)
 		for _, sim := range sims {
 			params := rt.Catalog.Runs[sim].Params
 			for _, step := range steps {
@@ -209,24 +221,37 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 				if !ok {
 					return "", fmt.Errorf("agent: missing %s file for sim %d step %d", entity, sim, step)
 				}
-				r, err := gio.Open(rt.Catalog.AbsPath(entry))
-				if err != nil {
-					return "", err
-				}
-				f, err := r.ReadColumns(fileCols...)
-				bytesRead := r.BytesRead()
-				r.Close()
-				if err != nil {
-					return "", fmt.Errorf("agent: load %s sim %d step %d: %w", entity, sim, step, err)
-				}
-				total += bytesRead
-				if err := injectContextColumns(f, sim, step, params, needed); err != nil {
-					return "", err
-				}
-				if err := rt.DB.AppendTable(table, f); err != nil {
-					return "", err
-				}
+				slices = append(slices, slice{sim: sim, step: step, params: params})
+				reqs = append(reqs, stage.Request{Path: rt.Catalog.AbsPath(entry), Columns: fileCols})
 			}
+		}
+		var total int64
+		frames := make([]*dataframe.Frame, len(slices))
+		var results []stage.Result
+		if len(fileCols) > 0 {
+			results = rt.Stage.LoadAll(reqs)
+		} else {
+			// Degenerate intent (only injected columns requested): stage
+			// zero-row slices rather than asking the cache for zero columns.
+			results = make([]stage.Result, len(slices))
+			for i := range results {
+				results[i].Frame = dataframe.New()
+			}
+		}
+		for i, res := range results {
+			sl := slices[i]
+			if res.Err != nil {
+				return "", fmt.Errorf("agent: load %s sim %d step %d: %w", entity, sl.sim, sl.step, res.Err)
+			}
+			total += res.BytesRead
+			if err := injectContextColumns(res.Frame, sl.sim, sl.step, sl.params, needed); err != nil {
+				return "", err
+			}
+			frames[i] = res.Frame
+		}
+		// One bulk build writes the staged table once, not once per snapshot.
+		if err := rt.DB.BulkAppend(table, frames...); err != nil {
+			return "", err
 		}
 		ti, _ := rt.DB.Table(table)
 		st.Staged[table] = columnNames(ti)

@@ -16,6 +16,7 @@ import (
 	"infera/internal/rag"
 	"infera/internal/sandbox"
 	"infera/internal/sqldb"
+	"infera/internal/stage"
 )
 
 // State is the shared workflow state threaded through the graph. It holds
@@ -77,6 +78,11 @@ type Runtime struct {
 	Retriever *rag.Retriever
 	Feedback  Feedback
 
+	// Stage is the shared staging cache raw snapshot reads go through, so
+	// concurrent workflows over overlapping (sim, step) slices decode each
+	// gio file once. Nil uses the process-wide stage.Shared() cache.
+	Stage *stage.Cache
+
 	// MaxRevisions caps QA-guided regenerations per step (paper: 5).
 	// Zero takes the default; a negative value disables retries entirely
 	// (the static-pipeline baseline of §4.4.1).
@@ -110,6 +116,9 @@ func (rt *Runtime) withDefaults() *Runtime {
 	}
 	if out.MaxPlanRounds == 0 {
 		out.MaxPlanRounds = 3
+	}
+	if out.Stage == nil {
+		out.Stage = stage.Shared()
 	}
 	return &out
 }

@@ -19,6 +19,7 @@ import (
 	"infera/internal/sandbox"
 	"infera/internal/script"
 	"infera/internal/sqldb"
+	"infera/internal/stage"
 	"infera/internal/tools"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// UseServer executes sandbox code over a loopback HTTP server instead
 	// of in-process, exercising the full §3.2 isolation boundary.
 	UseServer bool
+	// Stage is the staging cache raw snapshot decodes are shared through;
+	// nil uses the process-wide stage.Shared() cache. Set an isolated cache
+	// in tests or benchmarks that assert on cache counters.
+	Stage *stage.Cache
 	// MaxRevisions caps QA-guided retries per step (default 5).
 	MaxRevisions int
 	// Logf receives progress lines when set.
@@ -98,7 +103,7 @@ func New(cfg Config) (*Assistant, error) {
 		model = llm.NewSim(llm.SimConfig{Seed: cfg.Seed})
 	}
 	reg := script.DefaultRegistry()
-	tools.Register(reg, cat)
+	tools.Register(reg, cat, cfg.Stage)
 
 	a := &Assistant{
 		cfg:      cfg,
@@ -259,6 +264,7 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 		Sandbox:           runner,
 		Session:           sess,
 		Retriever:         a.retr,
+		Stage:             a.cfg.Stage,
 		Feedback:          a.cfg.Feedback,
 		MaxRevisions:      a.cfg.MaxRevisions,
 		TrimHistory:       a.cfg.TrimHistory,

@@ -505,6 +505,61 @@ func (f *Frame) Append(other *Frame) error {
 	return nil
 }
 
+// Concat returns a new frame holding the rows of all frames in order.
+// Schemas must match (same column names and kinds, same order). Unlike
+// chained Append calls, Concat allocates each destination vector exactly
+// once, so concatenating k frames costs one copy of the data instead of
+// O(k) re-copies — and it never aliases or mutates its inputs, which makes
+// it safe over frames sharing immutable cached column vectors.
+func Concat(frames ...*Frame) (*Frame, error) {
+	if len(frames) == 0 {
+		return New(), nil
+	}
+	first := frames[0]
+	total := 0
+	for fi, f := range frames {
+		if f.NumCols() != first.NumCols() {
+			return nil, fmt.Errorf("dataframe: concat schema mismatch: frame %d has %d columns, want %d", fi, f.NumCols(), first.NumCols())
+		}
+		for i, c := range first.cols {
+			oc := f.cols[i]
+			if c.Name != oc.Name || c.Kind != oc.Kind {
+				return nil, fmt.Errorf("dataframe: concat schema mismatch at frame %d column %d: %s/%s vs %s/%s",
+					fi, i, oc.Name, oc.Kind, c.Name, c.Kind)
+			}
+		}
+		total += f.NumRows()
+	}
+	out := New()
+	for i, c := range first.cols {
+		var merged *Column
+		switch c.Kind {
+		case Float:
+			vals := make([]float64, 0, total)
+			for _, f := range frames {
+				vals = append(vals, f.cols[i].F...)
+			}
+			merged = NewFloat(c.Name, vals)
+		case Int:
+			vals := make([]int64, 0, total)
+			for _, f := range frames {
+				vals = append(vals, f.cols[i].I...)
+			}
+			merged = NewInt(c.Name, vals)
+		default:
+			vals := make([]string, 0, total)
+			for _, f := range frames {
+				vals = append(vals, f.cols[i].S...)
+			}
+			merged = NewString(c.Name, vals)
+		}
+		if err := out.AddColumn(merged); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Equal reports whether a and b have identical schemas and cell values.
 // Float cells compare with exact equality except NaN==NaN.
 func Equal(a, b *Frame) bool {

@@ -426,3 +426,59 @@ func TestQuickGroupCountsSumToRows(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestConcat(t *testing.T) {
+	mk := func(base int64) *Frame {
+		return MustFromColumns(
+			NewInt("i", []int64{base, base + 1}),
+			NewFloat("f", []float64{float64(base), float64(base) + 0.5}),
+			NewString("s", []string{"a", "b"}),
+		)
+	}
+	a, b, c := mk(0), mk(10), mk(20)
+	out, err := Concat(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6 || out.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", out.NumRows(), out.NumCols())
+	}
+	wantI := []int64{0, 1, 10, 11, 20, 21}
+	for r, w := range wantI {
+		if got := out.MustColumn("i").I[r]; got != w {
+			t.Fatalf("row %d: got %d want %d", r, got, w)
+		}
+	}
+	// Inputs are untouched and not aliased: mutating the output must not
+	// reach the sources.
+	out.MustColumn("i").I[0] = 999
+	if a.MustColumn("i").I[0] != 0 {
+		t.Fatal("Concat aliased an input vector")
+	}
+	if a.NumRows() != 2 || b.NumRows() != 2 {
+		t.Fatal("Concat mutated an input")
+	}
+
+	// Empty and single-frame cases.
+	empty, err := Concat()
+	if err != nil || empty.NumRows() != 0 || empty.NumCols() != 0 {
+		t.Fatalf("Concat() = %v %v", empty, err)
+	}
+	one, err := Concat(a)
+	if err != nil || one.NumRows() != 2 {
+		t.Fatalf("Concat(a) = %v %v", one, err)
+	}
+
+	// Schema mismatches fail.
+	if _, err := Concat(a, MustFromColumns(NewInt("x", []int64{1}))); err == nil {
+		t.Fatal("want column-count mismatch error")
+	}
+	bad := MustFromColumns(
+		NewInt("i", []int64{1}),
+		NewInt("f", []int64{1}), // kind differs
+		NewString("s", []string{"a"}),
+	)
+	if _, err := Concat(a, bad); err == nil {
+		t.Fatal("want kind mismatch error")
+	}
+}

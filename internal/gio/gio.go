@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"infera/internal/dataframe"
 )
@@ -152,13 +153,16 @@ func encodeColumn(c *dataframe.Column) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Reader provides selective column access to a gio file.
+// Reader provides selective column access to a gio file. It is safe for
+// concurrent use: column blocks are fetched with positionless ReadAt and
+// the byte accounting is atomic, so one cached open reader can serve
+// parallel loaders (header state is immutable after Open).
 type Reader struct {
 	f         *os.File
 	hdr       header
 	byName    map[string]int
 	fileSize  int64
-	bytesRead int64 // data-block bytes read so far (excludes header)
+	bytesRead atomic.Int64 // data-block bytes read so far (excludes header)
 }
 
 // Open opens a gio file and parses its header.
@@ -211,7 +215,7 @@ func (r *Reader) Size() int64 { return r.fileSize }
 
 // BytesRead returns the data-block bytes this reader has decoded so far;
 // it is the measure behind the paper's "terabytes to gigabytes" claim.
-func (r *Reader) BytesRead() int64 { return r.bytesRead }
+func (r *Reader) BytesRead() int64 { return r.bytesRead.Load() }
 
 // Meta returns the metadata map stored at write time.
 func (r *Reader) Meta() map[string]string { return r.hdr.Meta }
@@ -250,7 +254,7 @@ func (r *Reader) ReadColumns(names ...string) (*dataframe.Frame, error) {
 		if _, err := r.f.ReadAt(blk, info.Offset); err != nil {
 			return nil, fmt.Errorf("gio: read block %q: %w", name, err)
 		}
-		r.bytesRead += info.Size
+		r.bytesRead.Add(info.Size)
 		if got := crc32.Checksum(blk, castagnoli); got != info.CRC {
 			return nil, fmt.Errorf("gio: column %q: CRC mismatch (file corrupt): got %08x want %08x", name, got, info.CRC)
 		}

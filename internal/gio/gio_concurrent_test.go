@@ -51,6 +51,52 @@ func TestConcurrentReaders(t *testing.T) {
 	}
 }
 
+// One shared Reader serving parallel column selections: ReadAt-based block
+// access plus atomic byte accounting mean a cached open reader needs no
+// external locking. Run under -race.
+func TestSharedReaderParallelReads(t *testing.T) {
+	f := dataframe.MustFromColumns(
+		dataframe.NewInt("a", []int64{1, 2, 3, 4}),
+		dataframe.NewFloat("b", []float64{1, 2, 3, 4}),
+		dataframe.NewString("c", []string{"x", "y", "z", "w"}),
+	)
+	path := filepath.Join(t.TempDir(), "one-reader.gio")
+	if err := WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			col := []string{"a", "b", "c"}[i%3]
+			got, err := r.ReadColumns(col)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.NumRows() != 4 {
+				errs <- &dataframe.ColumnError{Name: "rows"}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// 24 reads over blocks of 32 (a), 32 (b) and 8 (c) bytes.
+	if got, want := r.BytesRead(), int64(8*(32+32+8)); got != want {
+		t.Errorf("BytesRead = %d, want %d", got, want)
+	}
+}
+
 // A single reader serving multiple sequential selections accumulates
 // BytesRead correctly.
 func TestBytesReadAccumulates(t *testing.T) {

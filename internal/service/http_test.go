@@ -104,6 +104,11 @@ func TestHTTPAskSessionsProvenanceMetrics(t *testing.T) {
 	if m.Completed != 1 || m.CachedTotal != 1 || m.Cache.Hits != 1 || m.Fingerprint == "" {
 		t.Errorf("metrics = %+v", m)
 	}
+	// The staging cache is surfaced on /metrics: budget configured and the
+	// ask's snapshot decodes accounted for.
+	if m.Stage.BudgetBytes <= 0 || m.Stage.Opens == 0 {
+		t.Errorf("stage metrics = %+v", m.Stage)
+	}
 
 	// Unknown session -> 404.
 	var dummy SessionInfo

@@ -22,6 +22,7 @@ import (
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/provenance"
+	"infera/internal/stage"
 )
 
 // Config configures a Service.
@@ -54,6 +55,15 @@ type Config struct {
 	MaxRevisions      int
 	// UseServer executes sandbox code over loopback HTTP per assistant.
 	UseServer bool
+	// Stage is the staging cache the assistant pool shares, so concurrent
+	// sessions staging overlapping (sim, step) slices decode each source
+	// file once. Nil uses the process-wide stage.Shared() cache; set an
+	// isolated cache in tests that assert on its counters.
+	Stage *stage.Cache
+	// FingerprintTTL memoizes the per-request ensemble fingerprint walk
+	// for this long: 0 uses DefaultFingerprintTTL, negative disables
+	// memoization (every request re-walks, the pre-memoization behavior).
+	FingerprintTTL time.Duration
 	// KeepStagingDBs preserves per-question staging databases after the
 	// answer is computed. Off by default: the daemon reclaims them once
 	// the workflow finishes (the provenance trail, which /sessions serves,
@@ -141,7 +151,10 @@ type Metrics struct {
 	CachedTotal int64      `json:"cached_total"`
 	Tokens      int64      `json:"tokens_total"`
 	Cache       CacheStats `json:"cache"`
-	Fingerprint string     `json:"fingerprint"`
+	// Stage reports the shared staging cache: decoded-block hits, misses,
+	// evicted bytes and residency.
+	Stage       stage.Stats `json:"stage"`
+	Fingerprint string      `json:"fingerprint"`
 	// FingerprintError reports a failed ensemble-dir walk (e.g. unmounted
 	// volume) so monitors can tell a broken fingerprint from a real one.
 	FingerprintError string `json:"fingerprint_error,omitempty"`
@@ -205,6 +218,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 4096
 	}
+	if cfg.Stage == nil {
+		cfg.Stage = stage.Shared()
+	}
 
 	s := &Service{
 		cfg:           cfg,
@@ -233,6 +249,7 @@ func New(cfg Config) (*Service, error) {
 			SkipDocumentation: cfg.SkipDocumentation,
 			MaxRevisions:      cfg.MaxRevisions,
 			UseServer:         cfg.UseServer,
+			Stage:             cfg.Stage,
 			Logf:              cfg.Logf,
 		})
 		if err != nil {
@@ -293,7 +310,7 @@ func (s *Service) Ask(req AskRequest) (*AskResult, error) {
 	}
 	req.Seed = seed
 	start := time.Now()
-	fp, err := Fingerprint(s.cfg.EnsembleDir)
+	fp, err := s.fingerprint()
 	if err != nil {
 		return nil, err
 	}
@@ -482,7 +499,15 @@ func (s *Service) runTask(idx int, a *core.Assistant, t *task) *AskResult {
 		return res
 	}
 	s.finishRecord(t.info, "done", res.Tokens, "")
-	s.cache.Put(t.key, res)
+	// Cache only under a fingerprint that still matches the ensemble. The
+	// key was resolved (possibly from the TTL memo) at enqueue time, but
+	// the workflow staged whatever bytes were on disk during the run — if
+	// the ensemble changed in between, this answer must not be keyed to
+	// the old state. One uncached walk per computed answer is noise next
+	// to the workflow itself; the memoization win is on the cached path.
+	if fp, err := Fingerprint(s.cfg.EnsembleDir); err == nil && fp == t.key.Fingerprint {
+		s.cache.Put(t.key, res)
+	}
 	s.logf("service: %s answered %q on worker %d in %s (%d tokens)",
 		t.info.ID, t.req.Question, idx, res.Elapsed.Round(time.Millisecond), res.Tokens)
 	return res
@@ -573,9 +598,18 @@ func (s *Service) VerifySession(id string) ([]provenance.Entry, error) {
 	return a.VerifySession(target)
 }
 
+// fingerprint resolves the ensemble fingerprint, memoized per
+// FingerprintTTL so the cached-answer path skips the stat walk.
+func (s *Service) fingerprint() (string, error) {
+	if s.cfg.FingerprintTTL < 0 {
+		return Fingerprint(s.cfg.EnsembleDir)
+	}
+	return CachedFingerprint(s.cfg.EnsembleDir, s.cfg.FingerprintTTL)
+}
+
 // Metrics returns a point-in-time snapshot of the counters.
 func (s *Service) Metrics() Metrics {
-	fp, fpErr := Fingerprint(s.cfg.EnsembleDir)
+	fp, fpErr := s.fingerprint()
 	s.mu.Lock()
 	m := s.m
 	s.mu.Unlock()
@@ -583,6 +617,7 @@ func (s *Service) Metrics() Metrics {
 	m.QueueDepth = cap(s.queue)
 	m.QueueLen = len(s.queue)
 	m.Cache = s.cache.Stats()
+	m.Stage = s.cfg.Stage.Stats()
 	m.Fingerprint = fp
 	if fpErr != nil {
 		m.FingerprintError = fpErr.Error()

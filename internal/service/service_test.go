@@ -10,6 +10,7 @@ import (
 
 	"infera/internal/hacc"
 	"infera/internal/llm"
+	"infera/internal/stage"
 )
 
 func testEnsemble(t *testing.T) string {
@@ -143,10 +144,14 @@ func TestServiceFingerprintInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Simulate the ensemble being regenerated: add a file to the dir.
+	// Simulate the ensemble being regenerated: add a file to the dir. The
+	// service memoizes its fingerprint for DefaultFingerprintTTL, so wait
+	// out the window — the bounded staleness the memoization trades for
+	// skipping the stat walk on every request.
 	if err := os.WriteFile(filepath.Join(dir, "extra-run.bin"), []byte("new data"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	time.Sleep(DefaultFingerprintTTL + 50*time.Millisecond)
 	fp2, err := Fingerprint(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -518,5 +523,57 @@ func TestServiceSessionIDsAreSequential(t *testing.T) {
 		if want := fmt.Sprintf("q-%04d", i+1); s.ID != want {
 			t.Errorf("session %d ID = %q, want %q", i, s.ID, want)
 		}
+	}
+}
+
+// TestServiceSharedStagingDedupe drives >= 8 concurrent sessions that all
+// stage the same overlapping (sim, step) slices through one service and
+// proves the shared staging cache decodes each underlying gio file exactly
+// once — the cross-request batching property. Run under -race.
+func TestServiceSharedStagingDedupe(t *testing.T) {
+	dir := testEnsemble(t)
+	st := stage.New(1<<30, 4) // isolated cache so counters are exact
+	svc := newService(t, Config{EnsembleDir: dir, Workers: 4, QueueDepth: 32, Stage: st})
+
+	// This question stages the halos table for all sims and steps; distinct
+	// seeds force distinct workflow computations (no answer-cache hits),
+	// which is exactly the overlapping-slices scenario.
+	const q = "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"
+	const parallel = 8
+	var wg sync.WaitGroup
+	errs := make([]error, parallel)
+	results := make([]*AskResult, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = svc.Ask(AskRequest{Question: q, Seed: int64(i) + 1})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < parallel; i++ {
+		if errs[i] != nil {
+			t.Fatalf("ask %d: %v", i, errs[i])
+		}
+		if results[i].Error != "" || results[i].Cached {
+			t.Fatalf("ask %d result = %+v", i, results[i])
+		}
+	}
+
+	cat, err := hacc.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haloFiles := len(cat.FilesOf(-1, -1, hacc.FileHalos))
+	if haloFiles == 0 {
+		t.Fatal("no halo files in ensemble")
+	}
+	stats := st.Stats()
+	if stats.Opens != int64(haloFiles) {
+		t.Fatalf("each halo file must decode exactly once across %d sessions: opens = %d, want %d (stats %+v)",
+			parallel, stats.Opens, haloFiles, stats)
+	}
+	if stats.Hits == 0 {
+		t.Fatal("overlapping sessions must share decodes")
 	}
 }

@@ -107,13 +107,38 @@ func (db *DB) CreateOrReplaceTable(name string, f *dataframe.Frame) error {
 }
 
 // AppendTable appends frame to an existing table (schemas must match), or
-// creates the table if absent. Multi-snapshot loads accumulate this way.
+// creates the table if absent. For multi-frame loads prefer BulkAppend: a
+// k-frame accumulation via AppendTable re-reads and rewrites the whole
+// table per call (O(k²) data movement), while BulkAppend writes once.
 func (db *DB) AppendTable(name string, f *dataframe.Frame) error {
+	return db.BulkAppend(name, f)
+}
+
+// BulkAppend appends frames to name in a single staging build: the
+// existing table (if any) is read once, all frames are concatenated with
+// exact preallocation, and the table file is written exactly once — the
+// bulk path the data loader uses so a k-snapshot load writes each table
+// once instead of k times. Schemas must match; frames are not mutated.
+func (db *DB) BulkAppend(name string, frames ...*dataframe.Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Merge the caller's frames first, so a schema mismatch among them is
+	// reported with the caller's frame indices; a mismatch against the
+	// stored table is attributed separately below.
+	add := frames[0]
+	if len(frames) > 1 {
+		merged, err := dataframe.Concat(frames...)
+		if err != nil {
+			return fmt.Errorf("sqldb: bulk append to %q: %w", name, err)
+		}
+		add = merged
+	}
 	ti, exists := db.tables[name]
 	if !exists {
-		return db.writeTable(name, f)
+		return db.writeTable(name, add)
 	}
 	r, err := gio.Open(filepath.Join(db.dir, ti.File))
 	if err != nil {
@@ -124,10 +149,11 @@ func (db *DB) AppendTable(name string, f *dataframe.Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := existing.Append(f); err != nil {
-		return fmt.Errorf("sqldb: append to %q: %w", name, err)
+	merged, err := dataframe.Concat(existing, add)
+	if err != nil {
+		return fmt.Errorf("sqldb: append to %q: schema mismatch with existing table: %w", name, err)
 	}
-	return db.writeTable(name, existing)
+	return db.writeTable(name, merged)
 }
 
 // writeTable persists f under name; caller holds the lock.

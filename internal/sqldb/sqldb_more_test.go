@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -231,4 +232,61 @@ func asSyntax(err error, out **SyntaxError) bool {
 		return true
 	}
 	return false
+}
+
+// BulkAppend must equal a chain of AppendTable calls while writing the
+// table file only once.
+func TestBulkAppendMatchesAppendChain(t *testing.T) {
+	mk := func(base int64) *dataframe.Frame {
+		return dataframe.MustFromColumns(
+			dataframe.NewInt("tag", []int64{base, base + 1}),
+			dataframe.NewFloat("mass", []float64{float64(base), float64(base) + 0.5}),
+		)
+	}
+	frames := []*dataframe.Frame{mk(0), mk(10), mk(20), mk(30)}
+
+	chainDB, err := Create(filepath.Join(t.TempDir(), "chain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := chainDB.AppendTable("t", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulkDB, err := Create(filepath.Join(t.TempDir(), "bulk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulkDB.BulkAppend("t", frames...); err != nil {
+		t.Fatal(err)
+	}
+	want, err := chainDB.ReadTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bulkDB.ReadTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataframe.Equal(want, got) {
+		t.Fatalf("bulk result differs from append chain:\n%v\nvs\n%v", got, want)
+	}
+
+	// Appending in bulk to an existing table reads it once and extends it.
+	if err := bulkDB.BulkAppend("t", mk(40), mk(50)); err != nil {
+		t.Fatal(err)
+	}
+	ti, _ := bulkDB.Table("t")
+	if ti.Rows != 12 {
+		t.Fatalf("rows = %d, want 12", ti.Rows)
+	}
+	// No-op and mismatch cases.
+	if err := bulkDB.BulkAppend("t"); err != nil {
+		t.Fatal("empty BulkAppend must be a no-op")
+	}
+	bad := dataframe.MustFromColumns(dataframe.NewInt("x", []int64{1}))
+	if err := bulkDB.BulkAppend("t", bad); err == nil {
+		t.Fatal("want schema mismatch error")
+	}
 }

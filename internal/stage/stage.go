@@ -1,0 +1,394 @@
+// Package stage implements a process-wide, byte-budgeted staging cache of
+// decoded gio column blocks, shared by every reader of raw ensemble
+// snapshots (the agent data loader, the domain tools, the serving layer).
+//
+// Motivation: the two-stage workflow stages raw (sim, step) catalog slices
+// into a per-session analytical database before any SQL runs. Under a
+// concurrent serving layer, N sessions touching overlapping slices would
+// each re-open, re-decode and re-append the same files from scratch, so
+// staging dominates every cache-miss request. This cache makes the decode
+// step shared: N concurrent sessions over overlapping ensembles cost
+// exactly one decode per distinct (file, column set).
+//
+// # Keys and invalidation
+//
+// An entry is keyed by (absolute path, requested column set); its validity
+// is stamped with the file's (mtime, size) at decode time. Every lookup
+// stats the file and compares stamps, so rewriting or regenerating a file
+// invalidates its entries on the next access without any watcher — the
+// same stat-based freshness rule the service's ensemble fingerprint uses.
+// Column sets are canonicalized (sorted, deduplicated) before keying, so
+// request order never splits entries.
+//
+// # Budget and eviction
+//
+// The cache holds at most BudgetBytes() of decoded blocks (measured as the
+// encoded block bytes read from disk, a close proxy for resident column
+// size). Insertion past the budget evicts least-recently-used entries; an
+// entry that alone exceeds the budget is served uncached without disturbing
+// resident entries. EvictedBytes is surfaced on the service's /metrics
+// endpoint.
+//
+// # Sharing and immutability
+//
+// Cached column vectors are immutable. Columns returns a fresh Frame shell
+// per call that shares the cached vectors, so callers may add columns
+// (e.g. the loader's injected sim/step constants) but must never mutate
+// the returned column data in place. Frame verbs used downstream (Gather,
+// SortBy, Select, Concat) all allocate fresh vectors, so this holds
+// naturally; bulk table writes copy via dataframe.Concat.
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use. Concurrent misses on one key
+// single-flight: the first request decodes, the rest wait and share the
+// result. LoadAll fans a request list out over a bounded worker pool, so a
+// k-snapshot load decodes in parallel instead of sequentially.
+package stage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"infera/internal/dataframe"
+	"infera/internal/gio"
+)
+
+// DefaultBudgetBytes is the Shared cache's decoded-block budget.
+const DefaultBudgetBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of the cache counters, surfaced on the
+// service's /metrics endpoint.
+type Stats struct {
+	// Hits counts lookups served from resident entries, including requests
+	// that waited on another request's in-flight decode (single-flight
+	// followers).
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to decode (single-flight leaders).
+	Misses int64 `json:"misses"`
+	// Opens counts underlying gio file opens — exactly one per miss, the
+	// dedupe measure benchmarks assert on.
+	Opens int64 `json:"opens"`
+	// Invalidations counts entries dropped because the backing file's
+	// mtime or size changed.
+	Invalidations int64 `json:"invalidations"`
+	// Evictions / EvictedBytes count entries pushed out by the byte budget.
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	// UsedBytes / BudgetBytes describe the current residency.
+	UsedBytes   int64 `json:"used_bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Entries is the resident entry count.
+	Entries int `json:"entries"`
+}
+
+// key identifies one cached decode: a file path plus the canonical column
+// set. Freshness is checked against the entry's stamp, not the key, so a
+// regenerated file replaces its stale entry in place.
+type key struct {
+	path string
+	cols string
+}
+
+// stamp is the file identity an entry was decoded from.
+type stamp struct {
+	mtime int64 // ns
+	size  int64
+}
+
+type entry struct {
+	key   key
+	stamp stamp
+	// cols holds the decoded immutable column vectors by name.
+	cols  map[string]*dataframe.Column
+	bytes int64
+}
+
+type flight struct {
+	done chan struct{}
+	e    *entry
+	err  error
+}
+
+// Cache is the staging cache. Create with New or use the process-wide
+// Shared instance.
+type Cache struct {
+	workers int
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	budget   int64
+	ll       *list.List // front = most recently used
+	items    map[key]*list.Element
+	inflight map[key]*flight
+	stats    Stats
+}
+
+// New returns a cache holding at most budgetBytes of decoded blocks, with
+// loads fanned out over at most workers goroutines (0 picks a default of
+// min(8, GOMAXPROCS)).
+func New(budgetBytes int64, workers int) *Cache {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	return &Cache{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		budget:   budgetBytes,
+		ll:       list.New(),
+		items:    map[key]*list.Element{},
+		inflight: map[key]*flight{},
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Cache
+)
+
+// Shared returns the process-wide cache every snapshot reader defaults to.
+// One instance per process is the point: sessions, tools and services
+// dedupe against each other only when they share it.
+func Shared() *Cache {
+	sharedOnce.Do(func() { shared = New(DefaultBudgetBytes, 0) })
+	return shared
+}
+
+// SetBudget adjusts the byte budget (e.g. from a daemon flag), evicting
+// immediately if the cache is over the new bound.
+func (c *Cache) SetBudget(budgetBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budgetBytes
+	c.evictOverBudgetLocked()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.BudgetBytes = c.budget
+	st.Entries = c.ll.Len()
+	return st
+}
+
+// canonicalCols sorts and deduplicates names into the key form plus the
+// decode list.
+func canonicalCols(names []string) (string, []string) {
+	uniq := make([]string, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	return strings.Join(uniq, ","), uniq
+}
+
+// Columns returns the requested columns of the gio file at path as a fresh
+// frame shell over cached immutable vectors, decoding at most once per
+// (path, column set, file stamp). bytesRead is the data-block bytes this
+// call actually read from disk: the full block size on a decode, 0 when
+// served from cache — so callers' I/O accounting stays truthful under
+// sharing. The frame's column order follows the request.
+func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytesRead int64, err error) {
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("stage: no columns requested for %s", path)
+	}
+	colKey, decodeCols := canonicalCols(names)
+	k := key{path: path, cols: colKey}
+
+	for {
+		// Stat inside the loop: a single-flight follower whose leader decoded
+		// a different file generation re-checks against the current identity.
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		now := stamp{mtime: st.ModTime().UnixNano(), size: st.Size()}
+		c.mu.Lock()
+		if el, ok := c.items[k]; ok {
+			e := el.Value.(*entry)
+			if e.stamp == now {
+				c.stats.Hits++
+				c.ll.MoveToFront(el)
+				c.mu.Unlock()
+				return assemble(e, names)
+			}
+			// The backing file changed since this entry was decoded.
+			c.removeLocked(el)
+			c.stats.Invalidations++
+		}
+		if fl := c.inflight[k]; fl != nil {
+			c.mu.Unlock()
+			<-fl.done
+			// The leader may have decoded a different stamp (file replaced
+			// mid-flight) or failed; loop to re-check against the cache.
+			if fl.err != nil {
+				return nil, 0, fl.err
+			}
+			if fl.e.stamp == now {
+				c.mu.Lock()
+				c.stats.Hits++
+				c.mu.Unlock()
+				return assemble(fl.e, names)
+			}
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[k] = fl
+		c.stats.Misses++
+		c.stats.Opens++
+		c.mu.Unlock()
+
+		fl.e, fl.err = decode(path, k, decodeCols)
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if fl.err == nil {
+			c.insertLocked(fl.e)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		if fl.err != nil {
+			return nil, 0, fl.err
+		}
+		return assembleRead(fl.e, names)
+	}
+}
+
+// decode opens the file once and reads the canonical column set.
+func decode(path string, k key, cols []string) (*entry, error) {
+	// Stamp with the pre-open stat so a mid-decode rewrite yields a stale
+	// stamp and re-decodes on the next access rather than serving torn data.
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := gio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := r.ReadColumns(cols...)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{
+		key:   k,
+		stamp: stamp{mtime: st.ModTime().UnixNano(), size: st.Size()},
+		cols:  map[string]*dataframe.Column{},
+		bytes: r.BytesRead(),
+	}
+	for i := 0; i < f.NumCols(); i++ {
+		col := f.ColumnAt(i)
+		e.cols[col.Name] = col
+	}
+	return e, nil
+}
+
+// assemble builds a fresh frame shell over e's vectors in requested order.
+func assemble(e *entry, names []string) (*dataframe.Frame, int64, error) {
+	out := dataframe.New()
+	added := map[string]bool{}
+	for _, n := range names {
+		if added[n] {
+			continue
+		}
+		added[n] = true
+		col, ok := e.cols[n]
+		if !ok {
+			// Cannot happen for entries decoded from this key, but guard it.
+			return nil, 0, fmt.Errorf("stage: column %q missing from cached entry", n)
+		}
+		if err := out.AddColumn(col); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, 0, nil
+}
+
+// assembleRead is assemble for the decoding request, which reports the
+// bytes it actually read.
+func assembleRead(e *entry, names []string) (*dataframe.Frame, int64, error) {
+	f, _, err := assemble(e, names)
+	return f, e.bytes, err
+}
+
+// insertLocked adds e (replacing any same-key entry) and enforces the
+// budget. Caller holds mu.
+func (c *Cache) insertLocked(e *entry) {
+	if el, ok := c.items[e.key]; ok {
+		c.removeLocked(el)
+	}
+	if e.bytes > c.budget {
+		// An entry that alone exceeds the budget would flush every other
+		// resident entry and still be evicted last; serve it uncached and
+		// leave the rest of the cache intact.
+		c.stats.Evictions++
+		c.stats.EvictedBytes += e.bytes
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	c.stats.UsedBytes += e.bytes
+	c.evictOverBudgetLocked()
+}
+
+func (c *Cache) evictOverBudgetLocked() {
+	for c.stats.UsedBytes > c.budget && c.ll.Len() > 0 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
+		c.removeLocked(oldest)
+		c.stats.Evictions++
+		c.stats.EvictedBytes += e.bytes
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.stats.UsedBytes -= e.bytes
+}
+
+// Request names one file's column selection for LoadAll.
+type Request struct {
+	Path    string
+	Columns []string
+}
+
+// Result is one LoadAll outcome, aligned with the request slice.
+type Result struct {
+	Frame     *dataframe.Frame
+	BytesRead int64
+	Err       error
+}
+
+// LoadAll resolves every request through the cache, fanning misses out
+// over the worker pool — the parallel replacement for the loader's
+// sequential open→decode→append loop. Results align with reqs; each
+// carries its own error so callers keep per-snapshot error context.
+func (c *Cache) LoadAll(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func(i int, req Request) {
+			defer func() { <-c.sem; wg.Done() }()
+			out[i].Frame, out[i].BytesRead, out[i].Err = c.Columns(req.Path, req.Columns...)
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,342 @@
+package stage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"infera/internal/dataframe"
+	"infera/internal/gio"
+)
+
+// writeSnapshot writes a small gio file with deterministic int/float
+// columns and returns its path and per-column block size.
+func writeSnapshot(t *testing.T, dir, name string, rows int, fill int64) string {
+	t.Helper()
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	for i := range ints {
+		ints[i] = fill + int64(i)
+		floats[i] = float64(fill) + float64(i)/2
+	}
+	f := dataframe.MustFromColumns(
+		dataframe.NewInt("fof_halo_tag", ints),
+		dataframe.NewFloat("fof_halo_mass", floats),
+		dataframe.NewFloat("fof_halo_count", floats),
+	)
+	path := filepath.Join(dir, name)
+	if err := gio.WriteFile(path, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSingleFlightDedupe stages overlapping slices from 8 concurrent
+// sessions and proves each file is opened and decoded exactly once.
+func TestSingleFlightDedupe(t *testing.T) {
+	dir := t.TempDir()
+	const nfiles = 5
+	paths := make([]string, nfiles)
+	for i := range paths {
+		paths[i] = writeSnapshot(t, dir, fmt.Sprintf("s%d.gio", i), 64, int64(i*1000))
+	}
+	c := New(1<<30, 4)
+
+	const sessions = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			// Every session loads every file — maximal overlap.
+			reqs := make([]Request, nfiles)
+			for i, p := range paths {
+				reqs[i] = Request{Path: p, Columns: []string{"fof_halo_tag", "fof_halo_mass"}}
+			}
+			for _, res := range c.LoadAll(reqs) {
+				if res.Err != nil {
+					errs <- res.Err
+					return
+				}
+				if res.Frame.NumRows() != 64 || res.Frame.NumCols() != 2 {
+					errs <- fmt.Errorf("bad shape %dx%d", res.Frame.NumRows(), res.Frame.NumCols())
+					return
+				}
+			}
+		}(s)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Opens != nfiles {
+		t.Fatalf("each file must decode exactly once: opens = %d, want %d", st.Opens, nfiles)
+	}
+	if st.Misses != nfiles {
+		t.Fatalf("misses = %d, want %d", st.Misses, nfiles)
+	}
+	if want := int64(sessions*nfiles) - nfiles; st.Hits != want {
+		t.Fatalf("hits = %d, want %d", st.Hits, want)
+	}
+}
+
+// TestColumnSetCanonicalization: order and duplicates must not split
+// entries, and the returned frame follows the requested order.
+func TestColumnSetCanonicalization(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 16, 7)
+	c := New(1<<30, 2)
+
+	f1, n1, err := c.Columns(path, "fof_halo_mass", "fof_halo_tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("first read must report bytes read")
+	}
+	f2, n2, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass", "fof_halo_tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Fatalf("cache hit must report 0 bytes read, got %d", n2)
+	}
+	if got := c.Stats().Opens; got != 1 {
+		t.Fatalf("opens = %d, want 1 (same column set, different order)", got)
+	}
+	if f1.Names()[0] != "fof_halo_mass" || f2.Names()[0] != "fof_halo_tag" {
+		t.Fatalf("column order must follow the request: %v / %v", f1.Names(), f2.Names())
+	}
+	// Shells are independent: adding a column to one must not leak.
+	if err := f2.AddColumn(dataframe.NewInt("sim", make([]int64, 16))); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Has("sim") {
+		t.Fatal("frame shells must be independent per call")
+	}
+}
+
+// TestLRUEvictionAtBudget inserts three entries under a budget sized for
+// two and checks the least-recently-used one is evicted.
+func TestLRUEvictionAtBudget(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSnapshot(t, dir, "a.gio", 64, 0)
+	b := writeSnapshot(t, dir, "b.gio", 64, 1)
+	d := writeSnapshot(t, dir, "c.gio", 64, 2)
+
+	c := New(1, 2) // probe entry size first
+	if _, n, err := c.Columns(a, "fof_halo_tag"); err != nil || n == 0 {
+		t.Fatalf("probe: %v %d", err, n)
+	}
+	entryBytes := c.Stats().EvictedBytes // budget 1 evicts the probe immediately
+	if entryBytes == 0 {
+		t.Fatal("probe entry was not measured")
+	}
+
+	c = New(2*entryBytes, 2)
+	for _, p := range []string{a, b} {
+		if _, _, err := c.Columns(p, "fof_halo_tag"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is LRU, then insert the third entry.
+	if _, _, err := c.Columns(a, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Columns(d, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.EvictedBytes != entryBytes {
+		t.Fatalf("evictions = %d (%d bytes), want 1 (%d bytes)", st.Evictions, st.EvictedBytes, entryBytes)
+	}
+	if st.UsedBytes > 2*entryBytes {
+		t.Fatalf("used %d exceeds budget %d", st.UsedBytes, 2*entryBytes)
+	}
+	// a stayed resident (hit), b was evicted (re-decodes).
+	before := c.Stats().Opens
+	if _, _, err := c.Columns(a, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Opens; got != before {
+		t.Fatal("recently-used entry must stay resident")
+	}
+	if _, _, err := c.Columns(b, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Opens; got != before+1 {
+		t.Fatal("evicted entry must re-decode")
+	}
+}
+
+// TestOversizedEntryBypassesCache: an entry bigger than the whole budget
+// must not flush resident entries on its way through.
+func TestOversizedEntryBypassesCache(t *testing.T) {
+	dir := t.TempDir()
+	small := writeSnapshot(t, dir, "small.gio", 8, 0)
+	big := writeSnapshot(t, dir, "big.gio", 4096, 1)
+
+	c := New(1<<30, 2)
+	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	smallBytes := c.Stats().UsedBytes
+
+	c = New(smallBytes+16, 2) // fits the small entry, not the big one
+	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := c.Columns(big, "fof_halo_tag", "fof_halo_mass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 4096 {
+		t.Fatalf("oversized load must still be served: %d rows", f.NumRows())
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.UsedBytes != smallBytes {
+		t.Fatalf("oversized entry must not disturb residents: %+v", st)
+	}
+	// The small entry is still a hit.
+	before := st.Opens
+	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Opens != before {
+		t.Fatal("resident entry was flushed by an oversized insert")
+	}
+}
+
+// TestInvalidationOnFileChange rewrites a cached file and checks the stale
+// entry is dropped and fresh data is served.
+func TestInvalidationOnFileChange(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 8, 100)
+	c := New(1<<30, 2)
+
+	f, _, err := c.Columns(path, "fof_halo_tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustColumn("fof_halo_tag").I[0] != 100 {
+		t.Fatal("unexpected seed data")
+	}
+
+	// Regenerate with different content; force a distinct mtime in case the
+	// filesystem's timestamp granularity is coarse.
+	writeSnapshot(t, dir, "s.gio", 8, 500)
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, n, err := c.Columns(path, "fof_halo_tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("changed file must re-decode, not hit")
+	}
+	if f2.MustColumn("fof_halo_tag").I[0] != 500 {
+		t.Fatalf("stale data served: %d", f2.MustColumn("fof_halo_tag").I[0])
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// Same-size rewrite invalidates too (mtime alone distinguishes).
+	if st.Opens != 2 {
+		t.Fatalf("opens = %d, want 2", st.Opens)
+	}
+}
+
+// TestSetBudgetEvicts shrinks the budget below residency and checks
+// immediate eviction.
+func TestSetBudgetEvicts(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 64, 0)
+	c := New(1<<30, 2)
+	if _, _, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Entries != 1 {
+		t.Fatal("entry not resident")
+	}
+	c.SetBudget(0)
+	st := c.Stats()
+	if st.Entries != 0 || st.UsedBytes != 0 || st.Evictions != 1 {
+		t.Fatalf("shrinking budget must evict: %+v", st)
+	}
+}
+
+// TestErrorPropagation: missing columns and missing files fail without
+// caching the failure.
+func TestErrorPropagation(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 8, 0)
+	c := New(1<<30, 2)
+	if _, _, err := c.Columns(path, "no_such_column"); err == nil {
+		t.Fatal("want column error")
+	}
+	if _, _, err := c.Columns(filepath.Join(dir, "missing.gio"), "a"); err == nil {
+		t.Fatal("want stat error")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed decodes must not cache: %+v", st)
+	}
+	// The file is still loadable after a failed column request.
+	if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentChurn hammers one cache with overlapping loads, column-set
+// variations and budget changes under -race.
+func TestConcurrentChurn(t *testing.T) {
+	dir := t.TempDir()
+	const nfiles = 4
+	paths := make([]string, nfiles)
+	for i := range paths {
+		paths[i] = writeSnapshot(t, dir, fmt.Sprintf("s%d.gio", i), 32, int64(i))
+	}
+	c := New(1<<20, 4)
+	colsets := [][]string{
+		{"fof_halo_tag"},
+		{"fof_halo_tag", "fof_halo_mass"},
+		{"fof_halo_mass", "fof_halo_count", "fof_halo_tag"},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				p := paths[(g+i)%nfiles]
+				cs := colsets[(g+i)%len(colsets)]
+				f, _, err := c.Columns(p, cs...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if f.NumRows() != 32 {
+					t.Errorf("rows = %d", f.NumRows())
+					return
+				}
+				if g == 0 && i%10 == 0 {
+					c.SetBudget(int64(1<<20) + int64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

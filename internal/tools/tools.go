@@ -11,11 +11,26 @@ import (
 	"math"
 
 	"infera/internal/dataframe"
-	"infera/internal/gio"
 	"infera/internal/hacc"
 	"infera/internal/script"
+	"infera/internal/stage"
 	"infera/internal/viz"
 )
+
+// Raw snapshot reads go through a staging cache, so a tool invocation and
+// a concurrent data-loader session touching the same (sim, step) slice
+// share one decode, and repeated tool calls (e.g. a tracked halo
+// re-examined across questions) are served from memory. Each tool takes
+// the cache explicitly (nil means the process-wide stage.Shared()), so a
+// pool configured with an isolated cache keeps tool decodes in it too.
+
+// stageOr resolves a possibly-nil cache to the process-wide default.
+func stageOr(sc *stage.Cache) *stage.Cache {
+	if sc == nil {
+		return stage.Shared()
+	}
+	return sc
+}
 
 // TrackResult is one tracked snapshot of a halo.
 type TrackResult struct {
@@ -30,17 +45,13 @@ type TrackResult struct {
 // away (per the run's merger tree), tracking continues on the absorbing
 // halo, flagged Merged — the paper's custom "halo tracking across time
 // steps" tool.
-func TrackHalo(cat *hacc.Catalog, sim int, tag int64, metric string) ([]TrackResult, error) {
+func TrackHalo(sc *stage.Cache, cat *hacc.Catalog, sim int, tag int64, metric string) ([]TrackResult, error) {
+	sc = stageOr(sc)
 	treeEntry, ok := cat.Find(sim, -1, hacc.FileMergerTree)
 	if !ok {
 		return nil, fmt.Errorf("tools: no merger tree for sim %d", sim)
 	}
-	tr, err := gio.Open(cat.AbsPath(treeEntry))
-	if err != nil {
-		return nil, err
-	}
-	tree, err := tr.ReadAll()
-	tr.Close()
+	tree, _, err := sc.Columns(cat.AbsPath(treeEntry), "victim_tag", "target_tag", "merge_step")
 	if err != nil {
 		return nil, err
 	}
@@ -71,12 +82,7 @@ func TrackHalo(cat *hacc.Catalog, sim int, tag int64, metric string) ([]TrackRes
 		if !ok {
 			continue
 		}
-		r, err := gio.Open(cat.AbsPath(entry))
-		if err != nil {
-			return nil, err
-		}
-		f, err := r.ReadColumns("fof_halo_tag", metric)
-		r.Close()
+		f, _, err := sc.Columns(cat.AbsPath(entry), "fof_halo_tag", metric)
 		if err != nil {
 			return nil, err
 		}
@@ -120,17 +126,12 @@ func TrackFrame(results []TrackResult, metric string) *dataframe.Frame {
 
 // Neighborhood returns the halos within radius Mpc/h of the target halo
 // (periodic box distance) at (sim, step), target first.
-func Neighborhood(cat *hacc.Catalog, sim, step int, targetTag int64, radius float64) (*dataframe.Frame, error) {
+func Neighborhood(sc *stage.Cache, cat *hacc.Catalog, sim, step int, targetTag int64, radius float64) (*dataframe.Frame, error) {
 	entry, ok := cat.Find(sim, step, hacc.FileHalos)
 	if !ok {
 		return nil, fmt.Errorf("tools: no halo file for sim %d step %d", sim, step)
 	}
-	r, err := gio.Open(cat.AbsPath(entry))
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	f, err := r.ReadColumns("fof_halo_tag", "fof_halo_mass",
+	f, _, err := stageOr(sc).Columns(cat.AbsPath(entry), "fof_halo_tag", "fof_halo_mass",
 		"fof_halo_center_x", "fof_halo_center_y", "fof_halo_center_z")
 	if err != nil {
 		return nil, err
@@ -173,17 +174,12 @@ func Neighborhood(cat *hacc.Catalog, sim, step int, targetTag int64, radius floa
 
 // NthMostMassiveTag returns the tag of the rank'th most massive halo
 // (rank 0 = most massive) at (sim, step).
-func NthMostMassiveTag(cat *hacc.Catalog, sim, step, rank int) (int64, error) {
+func NthMostMassiveTag(sc *stage.Cache, cat *hacc.Catalog, sim, step, rank int) (int64, error) {
 	entry, ok := cat.Find(sim, step, hacc.FileHalos)
 	if !ok {
 		return 0, fmt.Errorf("tools: no halo file for sim %d step %d", sim, step)
 	}
-	r, err := gio.Open(cat.AbsPath(entry))
-	if err != nil {
-		return 0, err
-	}
-	defer r.Close()
-	f, err := r.ReadColumns("fof_halo_tag", "fof_halo_mass")
+	f, _, err := stageOr(sc).Columns(cat.AbsPath(entry), "fof_halo_tag", "fof_halo_mass")
 	if err != nil {
 		return 0, err
 	}
@@ -249,12 +245,14 @@ func SceneFromFrame(f *dataframe.Frame, xcol, ycol, zcol, scalarCol, highlightCo
 }
 
 // Register adds the domain tools to a script registry, closing over the
-// ensemble catalog in read-only mode. Registered functions:
+// ensemble catalog in read-only mode and the staging cache snapshot reads
+// go through (nil uses stage.Shared()). Registered functions:
 //
 //	track_halo(sim, tag, metric) -> frame(step, fof_halo_tag, merged, metric)
 //	halo_neighborhood(sim, step, tag, radius) -> frame
 //	paraview_scene(df, xcol, ycol, zcol, scalarcol, highlightcol, out)
-func Register(reg script.Registry, cat *hacc.Catalog) {
+func Register(reg script.Registry, cat *hacc.Catalog, sc *stage.Cache) {
+	sc = stageOr(sc)
 	reg["track_halo"] = func(_ *script.Env, args []script.Value) (script.Value, error) {
 		if len(args) != 3 {
 			return script.Value{}, fmt.Errorf("TypeError: track_halo() takes 3 arguments, got %d", len(args))
@@ -262,7 +260,7 @@ func Register(reg script.Registry, cat *hacc.Catalog) {
 		if args[0].Kind != script.KindNum || args[1].Kind != script.KindNum || args[2].Kind != script.KindStr {
 			return script.Value{}, fmt.Errorf("TypeError: track_halo(sim, tag, metric)")
 		}
-		results, err := TrackHalo(cat, int(args[0].Num), int64(args[1].Num), args[2].Str)
+		results, err := TrackHalo(sc, cat, int(args[0].Num), int64(args[1].Num), args[2].Str)
 		if err != nil {
 			return script.Value{}, err
 		}
@@ -277,7 +275,7 @@ func Register(reg script.Registry, cat *hacc.Catalog) {
 				return script.Value{}, fmt.Errorf("TypeError: halo_neighborhood(sim, step, tag, radius)")
 			}
 		}
-		f, err := Neighborhood(cat, int(args[0].Num), int(args[1].Num), int64(args[2].Num), args[3].Num)
+		f, err := Neighborhood(sc, cat, int(args[0].Num), int(args[1].Num), int64(args[2].Num), args[3].Num)
 		if err != nil {
 			return script.Value{}, err
 		}
@@ -293,11 +291,11 @@ func Register(reg script.Registry, cat *hacc.Catalog) {
 			}
 		}
 		sim, step, rank := int(args[0].Num), int(args[1].Num), int(args[2].Num)
-		tag, err := NthMostMassiveTag(cat, sim, step, rank)
+		tag, err := NthMostMassiveTag(sc, cat, sim, step, rank)
 		if err != nil {
 			return script.Value{}, err
 		}
-		f, err := Neighborhood(cat, sim, step, tag, args[3].Num)
+		f, err := Neighborhood(sc, cat, sim, step, tag, args[3].Num)
 		if err != nil {
 			return script.Value{}, err
 		}

@@ -31,7 +31,7 @@ func testCatalog(t *testing.T) *hacc.Catalog {
 func TestTrackHaloSurvivor(t *testing.T) {
 	cat := testCatalog(t)
 	// Tag 0 is the most massive halo of sim 0 and never merges away.
-	results, err := TrackHalo(cat, 0, 0, "fof_halo_mass")
+	results, err := TrackHalo(nil, cat, 0, 0, "fof_halo_mass")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestTrackHaloThroughMerger(t *testing.T) {
 	victim := tree.MustColumn("victim_tag").I[0]
 	target := tree.MustColumn("target_tag").I[0]
 	mergeStep := tree.MustColumn("merge_step").I[0]
-	results, err := TrackHalo(cat, 0, victim, "fof_halo_mass")
+	results, err := TrackHalo(nil, cat, 0, victim, "fof_halo_mass")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +86,14 @@ func TestTrackHaloThroughMerger(t *testing.T) {
 
 func TestTrackHaloMissing(t *testing.T) {
 	cat := testCatalog(t)
-	if _, err := TrackHalo(cat, 0, 999999999, "fof_halo_mass"); err == nil {
+	if _, err := TrackHalo(nil, cat, 0, 999999999, "fof_halo_mass"); err == nil {
 		t.Error("unknown halo should fail")
 	}
 }
 
 func TestNeighborhood(t *testing.T) {
 	cat := testCatalog(t)
-	f, err := Neighborhood(cat, 0, 624, 0, 20)
+	f, err := Neighborhood(nil, cat, 0, 624, 0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestNeighborhood(t *testing.T) {
 			t.Errorf("neighbour %d at distance %.1f > 20", i, d)
 		}
 	}
-	if _, err := Neighborhood(cat, 0, 624, 999999999, 20); err == nil {
+	if _, err := Neighborhood(nil, cat, 0, 624, 999999999, 20); err == nil {
 		t.Error("unknown target should fail")
 	}
 }
@@ -135,7 +135,7 @@ func TestPBC(t *testing.T) {
 func TestRegisteredToolsInSandbox(t *testing.T) {
 	cat := testCatalog(t)
 	reg := script.DefaultRegistry()
-	Register(reg, cat)
+	Register(reg, cat, nil)
 	ex := &sandbox.Executor{Registry: reg}
 	res := ex.Exec(`
 tracked = track_halo(0, 0, "fof_halo_count")
@@ -164,7 +164,7 @@ result(tracked)
 
 func TestSceneFromFrameErrors(t *testing.T) {
 	cat := testCatalog(t)
-	f, err := Neighborhood(cat, 0, 624, 0, 10)
+	f, err := Neighborhood(nil, cat, 0, 624, 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
