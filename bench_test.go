@@ -636,6 +636,99 @@ func BenchmarkServiceConcurrentAsk(b *testing.B) {
 	})
 }
 
+// benchRegistry shares a 3-shard registry across the registry benchmarks,
+// mirroring one inferad daemon serving a survey of simulation campaigns.
+var benchRegistry = sync.OnceValues(func() (*service.Registry, error) {
+	reg := service.NewRegistry(service.RegistryConfig{
+		Defaults: service.Config{
+			Workers:    2,
+			QueueDepth: 64,
+			Seed:       1,
+			NewModel: func(seed int64) llm.Client {
+				return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+			},
+		},
+	})
+	for i, name := range []string{"campaign-a", "campaign-b", "campaign-c"} {
+		dir, err := os.MkdirTemp("", "infera-bench-shard-*")
+		if err != nil {
+			return nil, err
+		}
+		spec := hacc.Spec{
+			Runs:             2,
+			Steps:            []int{99, 498},
+			HalosPerRun:      100,
+			ParticlesPerStep: 100,
+			BoxSize:          128,
+			Seed:             int64(i) + 1,
+		}
+		if _, err := hacc.Generate(dir, spec); err != nil {
+			return nil, err
+		}
+		if _, err := reg.Register(name, dir); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+})
+
+// BenchmarkRegistryAsk measures the sharded serving path: every iteration
+// routes an uncached question to the next of three ensemble shards through
+// one registry, so ns/op is end-to-end latency including shard routing and
+// (on first touch) lazy spin-up.
+func BenchmarkRegistryAsk(b *testing.B) {
+	reg, err := benchRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := []string{"campaign-a", "campaign-b", "campaign-c"}
+	var res *service.AskResult
+	for i := 0; i < b.N; i++ {
+		res, err = reg.Ask(shards[i%len(shards)], service.AskRequest{
+			Question: "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+			Seed:     nextBenchSeed(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Error != "" || res.Cached {
+			b.Fatalf("result = %+v", res)
+		}
+	}
+	m := reg.Metrics()
+	b.ReportMetric(float64(m.Live), "live-shards")
+	b.ReportMetric(float64(m.ShardOpens), "shard-opens")
+	b.ReportMetric(float64(res.Tokens), "tokens/ask")
+}
+
+// BenchmarkRegistryCachedAsk measures the routed cache floor: after one
+// warm-up per shard, every iteration is a cross-shard round of cache hits —
+// the registry's routing overhead on top of the per-shard LRU fast path.
+func BenchmarkRegistryCachedAsk(b *testing.B) {
+	reg, err := benchRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := []string{"campaign-a", "campaign-b", "campaign-c"}
+	const question = "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"
+	for _, s := range shards {
+		warm, err := reg.Ask(s, service.AskRequest{Question: question, Seed: 999})
+		if err != nil || warm.Error != "" {
+			b.Fatalf("warm-up %s: %v %+v", s, err, warm)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := reg.Ask(shards[i%len(shards)], service.AskRequest{Question: question, Seed: 999})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("expected a per-shard cache hit")
+		}
+	}
+}
+
 // BenchmarkSharedStaging measures the shared staging cache against the
 // pre-cache path it replaced: 8 concurrent sessions each stage the same
 // overlapping (sim, step) halo slices, either by re-opening and re-decoding

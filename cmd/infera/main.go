@@ -110,29 +110,34 @@ func main() {
 }
 
 // runService starts the same daemon as cmd/inferad with REPL-flavored
-// defaults, so a single binary covers both interactive and serving use.
+// defaults, so a single binary covers both interactive and serving use:
+// one "default" shard in a registry, reachable both through the
+// /v1/ensembles API and the legacy flat routes. Further ensembles can be
+// registered at runtime with POST /v1/ensembles.
 func runService(ensemble, work, addr string, seed int64, sandboxServer bool) {
-	svc, err := service.New(service.Config{
-		EnsembleDir: ensemble,
-		WorkDir:     work,
-		Seed:        seed,
-		UseServer:   sandboxServer,
-		Logf:        log.Printf,
+	reg := service.NewRegistry(service.RegistryConfig{
+		Defaults: service.Config{
+			Seed:      seed,
+			UseServer: sandboxServer,
+		},
+		WorkDir: work,
+		Logf:    log.Printf,
 	})
-	if err != nil {
+	if _, err := reg.Register("default", ensemble); err != nil {
 		log.Fatal(err)
 	}
-	srv := service.NewServer(svc)
+	srv := service.NewServer(reg)
 	if err := srv.Start(addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("infera: serving %s on http://%s (POST /ask)", ensemble, srv.Addr())
+	log.Printf("infera: serving %s on http://%s (POST /v1/ensembles/default/ask)", ensemble, srv.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	// Drain in-flight questions before closing the listener.
-	if err := svc.Close(); err != nil {
-		log.Printf("infera: service close: %v", err)
+	// Drain in-flight questions (persisting shard caches) before closing
+	// the listener.
+	if err := reg.Close(); err != nil {
+		log.Printf("infera: registry close: %v", err)
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("infera: http close: %v", err)

@@ -1,47 +1,72 @@
 // Command inferad is the InferA query daemon: the serving layer that turns
-// the single-user REPL workflow into a concurrent multi-session service.
-// It loads one ensemble into a pool of assistants, answers JSON questions
-// over HTTP through a bounded worker queue, and short-circuits repeat
-// questions with an LRU answer cache keyed by (ensemble fingerprint,
-// normalized question, model seed).
+// the single-user REPL workflow into a concurrent multi-ensemble service.
+// A shard registry owns any number of named ensembles — each an independent
+// assistant pool, answer cache and fingerprint memo, all sharing one
+// process-wide staging cache — and exposes them through the versioned
+// /v1/ensembles resource API. Shards spin up lazily on their first
+// question, and an LRU idle policy closes the coldest shard (persisting its
+// answer cache to <work>/shards/<name>/cache.json for revival) whenever
+// more than -max-live-shards are open at once.
 //
 // Usage:
 //
-//	inferad -ensemble DIR [-addr 127.0.0.1:8080] [-work DIR] [-workers 4]
-//	        [-queue 64] [-cache 128] [-seed 1] [-trim] [-skipdoc] [-sandbox-server]
+//	inferad -ensemble DIR [-ensemble name=DIR ...] [-addr 127.0.0.1:8080]
+//	        [-work DIR] [-max-live-shards 4] [-workers 4] [-queue 64]
+//	        [-cache 128] [-seed 1] [-trim] [-skipdoc] [-sandbox-server]
+//
+// -ensemble repeats: a bare DIR names the shard "default"; name=DIR
+// registers further shards. The first flag becomes the default shard that
+// the legacy flat routes serve. More ensembles can be registered at
+// runtime with POST /v1/ensembles.
 //
 // # Serving
 //
-// Ask a question (blocks until the two-stage workflow finishes, or returns
-// instantly on a cache hit):
+// Register an ensemble and ask it a question (ask blocks until the
+// two-stage workflow finishes, or returns instantly on a cache hit):
 //
-//	curl -s localhost:8080/ask -d '{"question": "top 20 largest halos at timestep 498 in simulation 0", "seed": 1}'
+//	curl -s localhost:8080/v1/ensembles -d '{"name": "cosmo-a", "dir": "/data/cosmo-a"}'
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/ask -d '{"question": "top 20 largest halos at timestep 498 in simulation 0", "seed": 1}'
 //
 // The response carries the answer table as CSV, the plan size, token usage,
-// artifact references and the provenance session ID. Inspect the service:
+// artifact references and the provenance session ID. Inspect the fleet:
 //
-//	curl -s localhost:8080/sessions                       # all session records
-//	curl -s localhost:8080/sessions/q-0001                # one record
-//	curl -s localhost:8080/sessions/q-0001/provenance     # artifact manifest
-//	curl -s localhost:8080/healthz                        # liveness
-//	curl -s localhost:8080/metrics                        # queue + cache counters
+//	curl -s localhost:8080/v1/ensembles                                # all shards (live/cold, caches)
+//	curl -s localhost:8080/v1/ensembles/cosmo-a                        # one shard's detail
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/sessions               # its session records
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/sessions/q-0001        # one record
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/sessions/q-0001/provenance
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/metrics                # one shard's counters
+//	curl -s localhost:8080/v1/metrics                                  # aggregate fleet counters
+//	curl -s localhost:8080/healthz                                     # liveness
 //
-// Concurrency model: -workers assistants each own isolated staging
-// databases and provenance stores, so N questions run in parallel without
-// sharing mutable state; -queue bounds pending requests beyond that, and a
-// full queue answers 503 with Retry-After (backpressure instead of
-// unbounded memory). Repeat questions against an unchanged ensemble are
-// answered from the cache in microseconds, and concurrent identical
-// questions coalesce into a single computation; any change to the ensemble
-// directory (new run, regenerated step) re-fingerprints and invalidates
-// stale answers automatically.
+// # Legacy routes (deprecated)
+//
+// The pre-registry flat API — POST /ask, GET /sessions[/{id}[/provenance]]
+// and GET /metrics — still answers, aliased onto the default shard, so
+// existing clients keep working. Those routes return a "Deprecation: true"
+// header with a Link to the /v1 successor and will be removed once nothing
+// depends on them; new integrations should use /v1/ensembles/{eid}/... (or
+// the typed internal/client package).
+//
+// Concurrency model: per shard, -workers assistants each own isolated
+// staging databases and provenance stores, so N questions run in parallel
+// without sharing mutable state; -queue bounds pending requests beyond
+// that, and a full queue answers 503 with Retry-After (backpressure
+// instead of unbounded memory). Repeat questions against an unchanged
+// ensemble are answered from that shard's cache in microseconds, concurrent
+// identical questions coalesce into a single computation, and any change to
+// an ensemble directory re-fingerprints and invalidates stale answers
+// automatically. The staging cache is shared across every shard, so two
+// ensembles referencing overlapping files decode them once.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"infera/internal/llm"
@@ -49,72 +74,112 @@ import (
 	"infera/internal/stage"
 )
 
+// ensembleFlags collects repeated -ensemble flags as (name, dir) pairs.
+type ensembleFlags struct {
+	names []string
+	dirs  []string
+}
+
+func (e *ensembleFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok {
+		// Bare DIR: the original single-ensemble form.
+		name, dir = "default", v
+	}
+	if name == "" || dir == "" {
+		return fmt.Errorf("want name=DIR or DIR, got %q", v)
+	}
+	for _, n := range e.names {
+		if n == name {
+			return fmt.Errorf("ensemble %q registered twice", name)
+		}
+	}
+	e.names = append(e.names, name)
+	e.dirs = append(e.dirs, dir)
+	return nil
+}
+
+func (e *ensembleFlags) String() string {
+	var parts []string
+	for i := range e.names {
+		parts = append(parts, e.names[i]+"="+e.dirs[i])
+	}
+	return strings.Join(parts, ",")
+}
+
 func main() {
 	log.SetFlags(0)
+	var ensembles ensembleFlags
+	flag.Var(&ensembles, "ensemble",
+		"ensemble shard as name=DIR, repeatable; a bare DIR is named \"default\" (at least one required; see haccgen)")
 	var (
-		ensemble = flag.String("ensemble", "", "ensemble directory (required; see haccgen)")
-		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		work     = flag.String("work", "", "working directory for staging DBs and provenance (default: temp)")
-		workers  = flag.Int("workers", 0, "assistant pool size (0 = min(4, GOMAXPROCS))")
-		queue    = flag.Int("queue", 64, "pending-request queue depth")
-		cacheSz  = flag.Int("cache", 128, "answer cache capacity (entries)")
-		maxSess  = flag.Int("max-sessions", 4096, "session-record history bound")
-		seed     = flag.Int64("seed", 1, "default model seed for requests without one")
-		trim     = flag.Bool("trim", true, "trim supervisor history (token optimization)")
-		skipdoc  = flag.Bool("skipdoc", false, "skip the documentation agent")
-		sandboxS = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
-		stageMB  = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all sessions)")
-		fpTTL    = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
-		verbose  = flag.Bool("v", false, "log per-request progress")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		work      = flag.String("work", "", "working directory root; each shard persists under <work>/shards/<name> (default: temp)")
+		maxShards = flag.Int("max-live-shards", service.DefaultMaxLiveShards, "live-shard budget: opening one more closes the least-recently-used idle shard")
+		workers   = flag.Int("workers", 0, "assistant pool size per shard (0 = min(4, GOMAXPROCS))")
+		queue     = flag.Int("queue", 64, "pending-request queue depth per shard")
+		cacheSz   = flag.Int("cache", 128, "answer cache capacity per shard (entries)")
+		maxSess   = flag.Int("max-sessions", 4096, "session-record history bound per shard")
+		seed      = flag.Int64("seed", 1, "default model seed for requests without one")
+		trim      = flag.Bool("trim", true, "trim supervisor history (token optimization)")
+		skipdoc   = flag.Bool("skipdoc", false, "skip the documentation agent")
+		sandboxS  = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
+		stageMB   = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all shards)")
+		fpTTL     = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
+		verbose   = flag.Bool("v", false, "log per-request progress")
 	)
 	flag.Parse()
-	if *ensemble == "" {
-		log.Fatal("inferad: -ensemble is required (generate one with haccgen)")
+	if len(ensembles.names) == 0 {
+		log.Fatal("inferad: at least one -ensemble is required (generate one with haccgen)")
 	}
-	// The staging cache is process-wide (the data loader and the domain
-	// tools share it); the flag sizes that shared instance.
+	// The staging cache is process-wide (every shard's data loader and
+	// domain tools share it); the flag sizes that shared instance.
 	stage.Shared().SetBudget(*stageMB << 20)
 
-	cfg := service.Config{
-		EnsembleDir:       *ensemble,
-		WorkDir:           *work,
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		CacheSize:         *cacheSz,
-		MaxSessions:       *maxSess,
-		Seed:              *seed,
-		TrimHistory:       *trim,
-		SkipDocumentation: *skipdoc,
-		UseServer:         *sandboxS,
-		FingerprintTTL:    *fpTTL,
-		NewModel: func(seed int64) llm.Client {
-			return llm.NewSim(llm.SimConfig{Seed: seed})
+	cfg := service.RegistryConfig{
+		Defaults: service.Config{
+			Workers:           *workers,
+			QueueDepth:        *queue,
+			CacheSize:         *cacheSz,
+			MaxSessions:       *maxSess,
+			Seed:              *seed,
+			TrimHistory:       *trim,
+			SkipDocumentation: *skipdoc,
+			UseServer:         *sandboxS,
+			FingerprintTTL:    *fpTTL,
+			NewModel: func(seed int64) llm.Client {
+				return llm.NewSim(llm.SimConfig{Seed: seed})
+			},
 		},
+		WorkDir:       *work,
+		MaxLiveShards: *maxShards,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
 
-	svc, err := service.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	reg := service.NewRegistry(cfg)
+	for i := range ensembles.names {
+		if _, err := reg.Register(ensembles.names[i], ensembles.dirs[i]); err != nil {
+			log.Fatalf("inferad: %v", err)
+		}
 	}
-	srv := service.NewServer(svc)
+	srv := service.NewServer(reg)
 	if err := srv.Start(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("inferad: serving ensemble %s on http://%s (%d workers, queue %d, cache %d)",
-		*ensemble, srv.Addr(), svc.Metrics().Workers, *queue, *cacheSz)
+	log.Printf("inferad: serving %d ensemble(s) [%s] on http://%s/v1/ensembles (max %d live, queue %d, cache %d)",
+		len(ensembles.names), ensembles.String(), srv.Addr(), *maxShards, *queue, *cacheSz)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("inferad: shutting down")
-	// Drain the service first so in-flight /ask handlers get their answers
-	// (late arrivals see 503), then close the listener, which waits for
-	// those handlers to finish writing.
-	if err := svc.Close(); err != nil {
-		log.Printf("inferad: service close: %v", err)
+	// Drain the registry first so in-flight ask handlers get their answers
+	// and every shard persists its cache (late arrivals see 503), then close
+	// the listener, which waits for those handlers to finish writing.
+	if err := reg.Close(); err != nil {
+		log.Printf("inferad: registry close: %v", err)
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("inferad: http close: %v", err)

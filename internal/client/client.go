@@ -1,0 +1,197 @@
+// Package client is the typed Go client for the inferad daemon's versioned
+// /v1/ensembles HTTP API (internal/service): registering ensemble shards,
+// routing questions to them, and reading session, provenance and metrics
+// state, all over the service package's wire types.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"infera/internal/provenance"
+	"infera/internal/service"
+)
+
+// Client talks to one inferad daemon. The zero value is not usable; create
+// with New.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base ("host:port" or a full
+// "http://host:port" URL). Asks block for the full workflow, so the
+// underlying transport has no overall timeout; pass a custom *http.Client
+// via WithHTTPClient to change that.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// WithHTTPClient swaps the underlying HTTP client (timeouts, transports).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.http = hc
+	return c
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // decoded error body (or raw text)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("inferad: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsNotFound reports whether err is an APIError with status 404.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// do runs one JSON round-trip. in == nil sends no body; out == nil ignores
+// the response body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func eidPath(eid string, parts ...string) string {
+	p := "/v1/ensembles/" + url.PathEscape(eid)
+	for _, part := range parts {
+		p += "/" + url.PathEscape(part)
+	}
+	return p
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ensembles lists every registered shard.
+func (c *Client) Ensembles() ([]service.ShardInfo, error) {
+	var out []service.ShardInfo
+	err := c.do(http.MethodGet, "/v1/ensembles", nil, &out)
+	return out, err
+}
+
+// Register adds an ensemble shard by name and directory (the daemon-side
+// path). Registering the same name+dir again is idempotent.
+func (c *Client) Register(name, dir string) (service.ShardInfo, error) {
+	var out service.ShardInfo
+	err := c.do(http.MethodPost, "/v1/ensembles", service.RegisterRequest{Name: name, Dir: dir}, &out)
+	return out, err
+}
+
+// Ensemble fetches one shard's detail (live/cold state, workers, cache
+// entries, fingerprint age).
+func (c *Client) Ensemble(eid string) (service.ShardInfo, error) {
+	var out service.ShardInfo
+	err := c.do(http.MethodGet, eidPath(eid), nil, &out)
+	return out, err
+}
+
+// Ask routes one question to shard eid, blocking until the answer (or a
+// cache hit) is ready.
+func (c *Client) Ask(eid string, req service.AskRequest) (*service.AskResult, error) {
+	var out service.AskResult
+	if err := c.do(http.MethodPost, eidPath(eid, "ask"), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sessions lists shard eid's session records.
+func (c *Client) Sessions(eid string) ([]service.SessionInfo, error) {
+	var out []service.SessionInfo
+	err := c.do(http.MethodGet, eidPath(eid, "sessions"), nil, &out)
+	return out, err
+}
+
+// Session fetches one session record.
+func (c *Client) Session(eid, id string) (service.SessionInfo, error) {
+	var out service.SessionInfo
+	err := c.do(http.MethodGet, eidPath(eid, "sessions", id), nil, &out)
+	return out, err
+}
+
+// Provenance fetches the artifact manifest behind one session record.
+func (c *Client) Provenance(eid, id string) ([]provenance.Entry, error) {
+	var out []provenance.Entry
+	err := c.do(http.MethodGet, eidPath(eid, "sessions", id, "provenance"), nil, &out)
+	return out, err
+}
+
+// ShardMetrics fetches one shard's metrics snapshot.
+func (c *Client) ShardMetrics(eid string) (service.Metrics, error) {
+	var out service.Metrics
+	err := c.do(http.MethodGet, eidPath(eid, "metrics"), nil, &out)
+	return out, err
+}
+
+// Metrics fetches the aggregate fleet snapshot.
+func (c *Client) Metrics() (service.RegistryMetrics, error) {
+	var out service.RegistryMetrics
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &out)
+	return out, err
+}
+
+// WaitReady polls /healthz until the daemon answers or the deadline
+// elapses — a convenience for scripts that just started the process.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.Healthz()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("inferad not ready after %s: %w", timeout, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

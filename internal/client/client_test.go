@@ -1,0 +1,128 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/service"
+)
+
+func testEnsemble(t *testing.T, seed int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	spec := hacc.Spec{
+		Runs:             2,
+		Steps:            []int{99, 498},
+		HalosPerRun:      80,
+		ParticlesPerStep: 50,
+		BoxSize:          128,
+		Seed:             seed,
+	}
+	if _, err := hacc.Generate(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func startDaemon(t *testing.T) (*Client, string) {
+	t.Helper()
+	reg := service.NewRegistry(service.RegistryConfig{
+		Defaults: service.Config{
+			Workers: 1,
+			Seed:    1,
+			NewModel: func(seed int64) llm.Client {
+				return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+			},
+		},
+		WorkDir: t.TempDir(),
+	})
+	if _, err := reg.Register("default", testEnsemble(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	srv := service.NewServer(reg)
+	if err := srv.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return New(srv.Addr()), srv.Addr()
+}
+
+const topHalosQ = "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?"
+
+func TestClientRoundTrip(t *testing.T) {
+	c, _ := startDaemon(t)
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register a second shard through the API.
+	info, err := c.Register("survey-b", testEnsemble(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "survey-b" || info.State != "cold" {
+		t.Fatalf("register = %+v", info)
+	}
+	list, err := c.Ensembles()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("ensembles = %v (%v)", list, err)
+	}
+
+	res, err := c.Ask("survey-b", service.AskRequest{Question: topHalosQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || res.Rows != 20 || res.Cached {
+		t.Fatalf("ask = %+v", res)
+	}
+	hit, err := c.Ask("survey-b", service.AskRequest{Question: topHalosQ})
+	if err != nil || !hit.Cached {
+		t.Fatalf("second ask = %+v (%v)", hit, err)
+	}
+
+	sessions, err := c.Sessions("survey-b")
+	if err != nil || len(sessions) != 2 {
+		t.Fatalf("sessions = %v (%v)", sessions, err)
+	}
+	one, err := c.Session("survey-b", res.RequestID)
+	if err != nil || one.Status != "done" {
+		t.Fatalf("session = %+v (%v)", one, err)
+	}
+	entries, err := c.Provenance("survey-b", res.RequestID)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("provenance = %d entries (%v)", len(entries), err)
+	}
+
+	detail, err := c.Ensemble("survey-b")
+	if err != nil || detail.State != "live" || detail.CacheEntries != 1 {
+		t.Fatalf("detail = %+v (%v)", detail, err)
+	}
+	sm, err := c.ShardMetrics("survey-b")
+	if err != nil || sm.Completed != 1 || sm.CachedTotal != 1 {
+		t.Fatalf("shard metrics = %+v (%v)", sm, err)
+	}
+	am, err := c.Metrics()
+	if err != nil || am.Shards != 2 || am.Completed != 1 {
+		t.Fatalf("aggregate metrics = %+v (%v)", am, err)
+	}
+
+	// Typed errors: unknown shard -> 404 APIError.
+	_, err = c.Ask("nope", service.AskRequest{Question: topHalosQ})
+	if !IsNotFound(err) {
+		t.Fatalf("unknown shard err = %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound || ae.Message == "" {
+		t.Fatalf("error shape = %+v", err)
+	}
+	// Conflicting registration -> 409.
+	_, err = c.Register("survey-b", t.TempDir())
+	if !errors.As(err, &ae) || ae.Status != http.StatusConflict {
+		t.Fatalf("conflict err = %v", err)
+	}
+}

@@ -9,11 +9,12 @@ import (
 
 // CacheKey identifies one answerable unit of work: the same question (after
 // normalization) against the same ensemble state with the same model seed is
-// the same computation, so its answer can be served from memory.
+// the same computation, so its answer can be served from memory. The JSON
+// tags are the on-disk form used by the cache persistence stub (persist.go).
 type CacheKey struct {
-	Fingerprint string
-	Question    string // normalized
-	Seed        int64
+	Fingerprint string `json:"fingerprint"`
+	Question    string `json:"question"` // normalized
+	Seed        int64  `json:"seed"`
 }
 
 // NormalizeQuestion canonicalizes a question for cache lookup: lower-cased,
@@ -97,6 +98,44 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// PersistedEntry is one cache entry in serializable form.
+type PersistedEntry struct {
+	Key    CacheKey   `json:"key"`
+	Result *AskResult `json:"result"`
+}
+
+// Snapshot returns every entry most-recently-used first — the order Restore
+// expects back.
+func (c *Cache) Snapshot() []PersistedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PersistedEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, PersistedEntry{Key: e.key, Result: e.val})
+	}
+	return out
+}
+
+// Restore loads entries (given MRU-first, as Snapshot produces) into the
+// cache, skipping those keep rejects (nil keeps all) and any with a nil
+// result. It preserves recency order and respects capacity, and returns how
+// many entries were kept. Restored entries do not touch the hit/miss
+// counters.
+func (c *Cache) Restore(entries []PersistedEntry, keep func(CacheKey) bool) int {
+	kept := 0
+	// Insert LRU-first so Put's push-front leaves the MRU entry at the front.
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if e.Result == nil || (keep != nil && !keep(e.Key)) {
+			continue
+		}
+		c.Put(e.Key, e.Result)
+		kept++
+	}
+	return kept
 }
 
 // Stats returns a snapshot of the counters.

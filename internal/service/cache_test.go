@@ -57,6 +57,42 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	}
 }
 
+func TestCacheSnapshotRestore(t *testing.T) {
+	c := NewCache(4)
+	c.Put(key("a"), &AskResult{SessionID: "a"})
+	c.Put(key("b"), &AskResult{SessionID: "b"})
+	c.Put(key("c"), &AskResult{SessionID: "c"})
+	c.Get(key("a")) // recency: a, c, b
+
+	snap := c.Snapshot()
+	if len(snap) != 3 || snap[0].Result.SessionID != "a" || snap[2].Result.SessionID != "b" {
+		t.Fatalf("snapshot order = %v", snap)
+	}
+
+	// Restore into a fresh cache preserves recency: with capacity 2, the MRU
+	// two entries survive and the LRU one is evicted.
+	small := NewCache(2)
+	if kept := small.Restore(snap, nil); kept != 3 {
+		t.Fatalf("kept = %d, want 3 inserted", kept)
+	}
+	if _, ok := small.Get(key("a")); !ok {
+		t.Error("MRU entry a should survive restore into a smaller cache")
+	}
+	if _, ok := small.Get(key("b")); ok {
+		t.Error("LRU entry b should be evicted on restore into a smaller cache")
+	}
+
+	// The keep filter drops entries (the fingerprint re-validation hook).
+	filtered := NewCache(4)
+	kept := filtered.Restore(snap, func(k CacheKey) bool { return k.Question != "b" })
+	if kept != 2 || filtered.Len() != 2 {
+		t.Fatalf("filtered restore kept %d (len %d), want 2", kept, filtered.Len())
+	}
+	if _, ok := filtered.Get(key("b")); ok {
+		t.Error("filtered entry must not be restored")
+	}
+}
+
 func TestCachePutRefreshesExisting(t *testing.T) {
 	c := NewCache(2)
 	c.Put(key("a"), &AskResult{SessionID: "a1"})

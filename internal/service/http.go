@@ -12,37 +12,74 @@ import (
 	"infera/internal/sandbox"
 )
 
-// Server exposes a Service over HTTP, reusing the JSON wire idiom of the
-// sandbox execution server. Endpoints:
+// Server exposes a shard Registry over HTTP as a versioned resource API,
+// reusing the JSON wire idiom of the sandbox execution server:
 //
-//	POST /ask                        {"question": ..., "seed": ...} -> AskResult
-//	GET  /sessions                   -> []SessionInfo
-//	GET  /sessions/{id}              -> SessionInfo
-//	GET  /sessions/{id}/provenance   -> []provenance.Entry
-//	GET  /healthz                    -> "ok"
-//	GET  /metrics                    -> Metrics
+//	GET  /v1/ensembles                                   -> []ShardInfo
+//	POST /v1/ensembles                                   {"name": ..., "dir": ...} -> ShardInfo (201)
+//	GET  /v1/ensembles/{eid}                             -> ShardInfo (live/cold, workers, cache, fingerprint age)
+//	POST /v1/ensembles/{eid}/ask                         {"question": ..., "seed": ...} -> AskResult
+//	GET  /v1/ensembles/{eid}/sessions                    -> []SessionInfo
+//	GET  /v1/ensembles/{eid}/sessions/{id}               -> SessionInfo
+//	GET  /v1/ensembles/{eid}/sessions/{id}/provenance    -> []provenance.Entry
+//	GET  /v1/ensembles/{eid}/metrics                     -> Metrics (one shard)
+//	GET  /v1/metrics                                     -> RegistryMetrics (aggregate)
+//	GET  /healthz                                        -> "ok"
+//
+// The pre-registry flat routes — POST /ask, GET /sessions[/{id}[/provenance]]
+// and GET /metrics — survive as deprecated aliases onto the registry's
+// default shard (the first one registered), answering with a Deprecation
+// header that points clients at the /v1 resources.
 type Server struct {
-	svc  *Service
+	reg  *Registry
 	http *http.Server
 	ln   net.Listener
 }
 
-// NewServer returns an unstarted HTTP front-end for svc.
-func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc}
+// NewServer returns an unstarted HTTP front-end for reg.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ask", s.handleAsk)
-	mux.HandleFunc("GET /sessions", s.handleSessions)
-	mux.HandleFunc("GET /sessions/{id}", s.handleSession)
-	mux.HandleFunc("GET /sessions/{id}/provenance", s.handleProvenance)
+	mux.HandleFunc("GET /v1/ensembles", s.handleList)
+	mux.HandleFunc("POST /v1/ensembles", s.handleRegister)
+	mux.HandleFunc("GET /v1/ensembles/{eid}", s.handleDetail)
+	mux.HandleFunc("POST /v1/ensembles/{eid}/ask", s.handleAsk)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions", s.handleSessions)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}/provenance", s.handleProvenance)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/metrics", s.handleShardMetrics)
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		sandbox.WriteJSON(w, s.reg.Metrics())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		sandbox.WriteJSON(w, s.svc.Metrics())
-	})
+	// Legacy aliases: the flat single-ensemble API, routed to the default
+	// shard. Deprecated — new clients should use /v1/ensembles/{eid}/...;
+	// these remain so pre-registry clients keep working unchanged.
+	mux.HandleFunc("POST /ask", s.legacy(s.handleAsk))
+	mux.HandleFunc("GET /sessions", s.legacy(s.handleSessions))
+	mux.HandleFunc("GET /sessions/{id}", s.legacy(s.handleSession))
+	mux.HandleFunc("GET /sessions/{id}/provenance", s.legacy(s.handleProvenance))
+	mux.HandleFunc("GET /metrics", s.legacy(s.handleShardMetrics))
 	s.http = &http.Server{Handler: mux, ReadTimeout: 30 * time.Second}
 	return s
+}
+
+// legacy adapts a /v1 shard handler to a flat route: it advertises the
+// deprecation and aims the handler at the default shard.
+func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/ensembles>; rel="successor-version"`)
+		name := s.reg.DefaultShard()
+		if name == "" {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no ensembles registered"))
+			return
+		}
+		r.SetPathValue("eid", name)
+		h(w, r)
+	}
 }
 
 // Start listens on addr ("" = 127.0.0.1:0) and serves in the background.
@@ -68,7 +105,7 @@ func (s *Server) Addr() string {
 }
 
 // Close gracefully shuts the HTTP listener down, waiting for active
-// handlers (the Service itself is closed separately by its owner — close
+// handlers (the Registry itself is closed separately by its owner — close
 // it first so handlers blocked in Ask drain rather than hang here).
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -87,32 +124,96 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 }
 
-// maxAskBody bounds the /ask request body; questions are sentences, so
+// writeRegistryError maps registry/shard errors onto HTTP statuses shared
+// by every eid-scoped handler.
+func writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownEnsemble):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrShardCold):
+		// The resource exists but has no live session state; 404 on the
+		// sub-resource with the reason spelled out.
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrEmptyQuestion):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		// Anything else is a server-side condition (e.g. the ensemble dir
+		// became unreadable mid-fingerprint), not a client mistake.
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// maxAskBody bounds the ask request body; questions are sentences, so
 // anything past 1 MB is abuse, not traffic.
 const maxAskBody = 1 << 20
 
-func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	var req AskRequest
+// RegisterRequest is the POST /v1/ensembles payload.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	Dir  string `json:"dir"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	sandbox.WriteJSON(w, s.reg.Ensembles())
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBody)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
 		return
 	}
-	res, err := s.svc.Ask(req)
+	info, err := s.reg.Register(req.Name, req.Dir)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrEnsembleExists):
+		writeError(w, http.StatusConflict, err)
 		return
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrEmptyQuestion):
+	case errors.Is(err, ErrBadEnsembleName):
 		writeError(w, http.StatusBadRequest, err)
 		return
+	case errors.Is(err, ErrRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	case err != nil:
-		// Anything else is a server-side condition (e.g. the ensemble dir
-		// became unreadable mid-fingerprint), not a client mistake.
-		writeError(w, http.StatusInternalServerError, err)
+		// An unloadable catalog is the client's mistake: wrong directory.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Headers must precede WriteHeader, or WriteJSON's Content-Type is lost.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	sandbox.WriteJSON(w, info)
+}
+
+func (s *Server) handleDetail(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Ensemble(r.PathValue("eid"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, info)
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req AskRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBody)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	res, err := s.reg.Ask(r.PathValue("eid"), req)
+	if err != nil {
+		writeRegistryError(w, err)
 		return
 	}
 	// Workflow failures still return 200 with res.Error set: the request
@@ -120,24 +221,46 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	sandbox.WriteJSON(w, res)
 }
 
-func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
-	sandbox.WriteJSON(w, s.svc.Sessions())
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	sessions, err := s.reg.Sessions(r.PathValue("eid"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, sessions)
 }
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
-	info, ok := s.svc.Session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+	info, err := s.reg.Session(r.PathValue("eid"), r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrUnknownEnsemble) || errors.Is(err, ErrRegistryClosed) {
+			writeRegistryError(w, err)
+			return
+		}
+		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	sandbox.WriteJSON(w, info)
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
-	entries, err := s.svc.Provenance(r.PathValue("id"))
+	entries, err := s.reg.Provenance(r.PathValue("eid"), r.PathValue("id"))
 	if err != nil {
+		if errors.Is(err, ErrUnknownEnsemble) || errors.Is(err, ErrRegistryClosed) {
+			writeRegistryError(w, err)
+			return
+		}
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	sandbox.WriteJSON(w, entries)
+}
+
+func (s *Server) handleShardMetrics(w http.ResponseWriter, r *http.Request) {
+	m, err := s.reg.ShardMetrics(r.PathValue("eid"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, m)
 }

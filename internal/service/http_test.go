@@ -12,10 +12,28 @@ import (
 	"infera/internal/provenance"
 )
 
+// startServer serves one "default" shard built from cfg through a registry,
+// mirroring the pre-registry single-ensemble daemon (the legacy routes
+// alias onto it).
 func startServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
-	svc := newService(t, cfg)
-	srv := NewServer(svc)
+	if cfg.EnsembleDir == "" {
+		cfg.EnsembleDir = testEnsemble(t)
+	}
+	if cfg.NewModel == nil {
+		cfg.NewModel = errFreeModel
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	dir := cfg.EnsembleDir
+	cfg.EnsembleDir, cfg.WorkDir = "", "" // per-shard, registry-managed
+	reg := NewRegistry(RegistryConfig{Defaults: cfg, WorkDir: t.TempDir()})
+	if _, err := reg.Register("default", dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	srv := NewServer(reg)
 	if err := srv.Start(""); err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +151,8 @@ func TestHTTPAskSessionsProvenanceMetrics(t *testing.T) {
 	if emptyResp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty question code = %d", emptyResp.StatusCode)
 	}
-	// Oversized body -> rejected before it can buffer unbounded memory.
+	// Oversized body -> 413, not a generic 400: the body limit is a size
+	// condition the client can act on, distinct from malformed JSON.
 	huge := append([]byte(`{"question": "`), bytes.Repeat([]byte("x"), maxAskBody+1024)...)
 	huge = append(huge, []byte(`"}`)...)
 	hugeResp, err := http.Post(base+"/ask", "application/json", bytes.NewReader(huge))
@@ -141,8 +160,132 @@ func TestHTTPAskSessionsProvenanceMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	hugeResp.Body.Close()
-	if hugeResp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body code = %d", hugeResp.StatusCode)
+	if hugeResp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body code = %d, want 413", hugeResp.StatusCode)
+	}
+
+	// Legacy routes answer but advertise their deprecation and successor.
+	depResp, err := http.Get(base + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	depResp.Body.Close()
+	if depResp.Header.Get("Deprecation") != "true" || depResp.Header.Get("Link") == "" {
+		t.Errorf("legacy route headers = %v", depResp.Header)
+	}
+}
+
+// TestHTTPV1EnsembleResources exercises the versioned resource API
+// end-to-end: runtime registration, per-shard ask/sessions/provenance
+// routing, the shard detail endpoint and the aggregate /v1/metrics.
+func TestHTTPV1EnsembleResources(t *testing.T) {
+	_, base := startServer(t, Config{Workers: 1})
+
+	// Register a second ensemble over the wire.
+	dirB := testEnsembleSeeded(t, 11)
+	body, _ := json.Marshal(RegisterRequest{Name: "survey-b", Dir: dirB})
+	resp, err := http.Post(base+"/v1/ensembles", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created ShardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.Name != "survey-b" || created.State != "cold" {
+		t.Fatalf("register: %d %+v", resp.StatusCode, created)
+	}
+
+	// Conflicting re-registration -> 409; bad name -> 400.
+	conflict, _ := json.Marshal(RegisterRequest{Name: "survey-b", Dir: t.TempDir()})
+	resp, err = http.Post(base+"/v1/ensembles", "application/json", bytes.NewReader(conflict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("conflicting register = %d, want 409", resp.StatusCode)
+	}
+	badName, _ := json.Marshal(RegisterRequest{Name: "no/slashes", Dir: dirB})
+	resp, err = http.Post(base+"/v1/ensembles", "application/json", bytes.NewReader(badName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad name register = %d, want 400", resp.StatusCode)
+	}
+
+	var list []ShardInfo
+	if code := getJSON(t, base+"/v1/ensembles", &list); code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("list: %d %v", code, list)
+	}
+
+	// Ask through each shard; answers come from different ensembles.
+	askV1 := func(eid, q string) *AskResult {
+		t.Helper()
+		body, _ := json.Marshal(AskRequest{Question: q})
+		resp, err := http.Post(base+"/v1/ensembles/"+eid+"/ask", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ask %s: %d", eid, resp.StatusCode)
+		}
+		var out AskResult
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+	resA := askV1("default", topHalosQ)
+	resB := askV1("survey-b", topHalosQ)
+	if resA.Error != "" || resB.Error != "" || resA.AnswerCSV == resB.AnswerCSV {
+		t.Fatalf("shard answers must come from their own ensembles: %+v vs %+v", resA, resB)
+	}
+
+	// Sessions and provenance are shard-scoped.
+	var sessB []SessionInfo
+	if code := getJSON(t, base+"/v1/ensembles/survey-b/sessions", &sessB); code != http.StatusOK || len(sessB) != 1 {
+		t.Fatalf("survey-b sessions: %d %v", code, sessB)
+	}
+	var entries []provenance.Entry
+	if code := getJSON(t, base+"/v1/ensembles/survey-b/sessions/"+resB.RequestID+"/provenance", &entries); code != http.StatusOK || len(entries) == 0 {
+		t.Fatalf("survey-b provenance: %d %d entries", code, len(entries))
+	}
+	// The same record ID does not exist on the other shard.
+	var miss SessionInfo
+	if code := getJSON(t, base+"/v1/ensembles/survey-b/sessions/q-9999", &miss); code != http.StatusNotFound {
+		t.Errorf("cross-shard session = %d, want 404", code)
+	}
+
+	// Detail endpoint: live shard with workers, cache entry and a resolved
+	// fingerprint.
+	var detail ShardInfo
+	if code := getJSON(t, base+"/v1/ensembles/survey-b", &detail); code != http.StatusOK {
+		t.Fatalf("detail: %d", code)
+	}
+	if detail.State != "live" || detail.Workers != 1 || detail.CacheEntries != 1 ||
+		detail.Fingerprint == "" || detail.Opens != 1 {
+		t.Errorf("detail = %+v", detail)
+	}
+	if code := getJSON(t, base+"/v1/ensembles/nope", &detail); code != http.StatusNotFound {
+		t.Errorf("unknown detail = %d, want 404", code)
+	}
+
+	// Per-shard and aggregate metrics.
+	var sm Metrics
+	if code := getJSON(t, base+"/v1/ensembles/survey-b/metrics", &sm); code != http.StatusOK || sm.Completed != 1 {
+		t.Fatalf("shard metrics: %d %+v", code, sm)
+	}
+	var am RegistryMetrics
+	if code := getJSON(t, base+"/v1/metrics", &am); code != http.StatusOK {
+		t.Fatalf("aggregate metrics: %d", code)
+	}
+	if am.Shards != 2 || am.Live != 2 || am.Completed != 2 || am.ShardOpens != 2 {
+		t.Errorf("aggregate = %+v", am)
 	}
 }
 
@@ -186,7 +329,7 @@ func TestHTTPConcurrentAsks(t *testing.T) {
 		if code := getJSON(t, fmt.Sprintf("%s/sessions/%s/provenance", base, results[i].RequestID), &entries); code != http.StatusOK || len(entries) == 0 {
 			t.Fatalf("ask %d provenance: %d with %d entries", i, code, len(entries))
 		}
-		if bad, err := srv.svc.VerifySession(results[i].RequestID); err != nil || len(bad) != 0 {
+		if bad, err := srv.reg.VerifySession("default", results[i].RequestID); err != nil || len(bad) != 0 {
 			t.Fatalf("ask %d verify: %v %v", i, bad, err)
 		}
 	}

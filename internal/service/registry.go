@@ -1,0 +1,694 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"infera/internal/hacc"
+	"infera/internal/provenance"
+	"infera/internal/stage"
+)
+
+// Registry multiplexes many named ensemble shards through one process: each
+// shard is an independent Service (assistant pool + answer cache +
+// fingerprint memo) over its own ensemble directory, while every shard
+// shares one staging cache so overlapping decodes dedupe across ensembles
+// too. Shards spin up lazily on first request, and an LRU idle policy
+// closes the coldest idle shard whenever the live count exceeds
+// MaxLiveShards — closing drains the pool and persists the answer cache to
+// the shard's WorkDir (persist.go), so a revived shard keeps its on-disk
+// provenance and its hit rate. The versioned /v1/ensembles HTTP API
+// (http.go) is a thin layer over this type.
+type Registry struct {
+	cfg      RegistryConfig
+	workRoot string
+
+	mu          sync.Mutex
+	closed      bool
+	shards      map[string]*shard
+	defaultName string
+	opens       int64
+	evictions   int64
+	// retired accumulates the final counters of every closed shard
+	// incarnation, so aggregate metrics survive eviction/revival cycles.
+	retired ShardTotals
+}
+
+// RegistryConfig configures a Registry.
+type RegistryConfig struct {
+	// Defaults is the Config template every shard starts from. EnsembleDir
+	// and WorkDir are managed per shard; a nil Stage is replaced by the
+	// process-wide stage.Shared() cache so all shards share decodes.
+	Defaults Config
+	// WorkDir is the root under which each shard gets
+	// WorkDir/shards/<name>; a temp root is created when empty (provenance
+	// and persisted caches then survive shard close/reopen, but not process
+	// exit in any discoverable place).
+	WorkDir string
+	// MaxLiveShards bounds concurrently open shards; opening one more
+	// closes the least-recently-used idle shard. Default
+	// DefaultMaxLiveShards. Shards with requests in flight are never
+	// closed, so a burst across many shards can briefly overshoot.
+	MaxLiveShards int
+	// Logf receives progress lines when set (also forwarded to shards that
+	// don't set their own).
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxLiveShards is the live-shard budget when RegistryConfig leaves
+// MaxLiveShards unset.
+const DefaultMaxLiveShards = 4
+
+// Errors returned by Registry methods.
+var (
+	ErrUnknownEnsemble = errors.New("service: unknown ensemble")
+	ErrEnsembleExists  = errors.New("service: ensemble name already registered to a different directory")
+	ErrBadEnsembleName = errors.New("service: ensemble name must be non-empty [a-zA-Z0-9._-] and not start with '.'")
+	ErrRegistryClosed  = errors.New("service: registry closed")
+	ErrShardCold       = errors.New("service: shard is cold (no live session state)")
+)
+
+// shard is one registered ensemble. Fields below the comment are guarded by
+// Registry.mu; open/close work happens outside the lock, serialized by the
+// opening/closing channels (waiters block on them and retry).
+type shard struct {
+	name    string
+	dir     string
+	workDir string
+
+	// guarded by Registry.mu:
+	svc        *Service
+	opening    chan struct{}
+	closing    chan struct{}
+	refs       int
+	registered time.Time
+	lastUsed   time.Time
+	opens      int64
+	lastFP     string
+	lastFPAt   time.Time
+	// coldEntries/coldSavedAt describe the persisted cache while svc == nil.
+	coldEntries int
+	coldSavedAt time.Time
+}
+
+// ShardInfo is the wire form of one shard's state — the GET
+// /v1/ensembles[/{eid}] payload.
+type ShardInfo struct {
+	Name string `json:"name"`
+	Dir  string `json:"dir"`
+	// State is "live" (assistant pool open) or "cold" (registered; spins up
+	// on the next ask).
+	State      string    `json:"state"`
+	Default    bool      `json:"default,omitempty"`
+	Registered time.Time `json:"registered"`
+	LastUsed   time.Time `json:"last_used"`
+	// Opens counts spin-ups: 0 = never asked, >1 = revived after eviction.
+	Opens    int64 `json:"opens"`
+	InFlight int   `json:"in_flight"`
+	// Workers is the live assistant-pool size (0 when cold).
+	Workers int `json:"workers,omitempty"`
+	// CacheEntries is the live answer-cache length, or for cold shards the
+	// entry count of the persisted cache.json awaiting revival.
+	CacheEntries int `json:"cache_entries"`
+	// Fingerprint is the last resolved ensemble fingerprint and
+	// FingerprintAge how long ago it was resolved (stale data detection for
+	// operators; cold shards report their close-time values).
+	Fingerprint    string        `json:"fingerprint,omitempty"`
+	FingerprintAge time.Duration `json:"fingerprint_age_ns,omitempty"`
+}
+
+// ShardTotals are the per-shard counters that aggregate across the fleet.
+type ShardTotals struct {
+	Queued      int64 `json:"queued_total"`
+	Completed   int64 `json:"completed_total"`
+	Failed      int64 `json:"failed_total"`
+	Rejected    int64 `json:"rejected_total"`
+	CachedTotal int64 `json:"cached_total"`
+	Tokens      int64 `json:"tokens_total"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+func (t *ShardTotals) add(m Metrics) {
+	t.Queued += m.Queued
+	t.Completed += m.Completed
+	t.Failed += m.Failed
+	t.Rejected += m.Rejected
+	t.CachedTotal += m.CachedTotal
+	t.Tokens += m.Tokens
+	t.CacheHits += m.Cache.Hits
+	t.CacheMisses += m.Cache.Misses
+}
+
+// RegistryMetrics is the aggregate /v1/metrics snapshot: fleet shape plus
+// lifetime counters summed over live shards and every retired shard
+// incarnation.
+type RegistryMetrics struct {
+	Shards        int `json:"shards"`
+	Live          int `json:"live"`
+	Cold          int `json:"cold"`
+	MaxLiveShards int `json:"max_live_shards"`
+	// ShardOpens/ShardEvictions count pool spin-ups and idle-LRU closes.
+	ShardOpens     int64 `json:"shard_opens"`
+	ShardEvictions int64 `json:"shard_evictions"`
+	ShardTotals
+	// Stage reports the staging cache all shards share.
+	Stage stage.Stats `json:"stage"`
+}
+
+// NewRegistry returns an empty registry; add shards with Register.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.MaxLiveShards <= 0 {
+		cfg.MaxLiveShards = DefaultMaxLiveShards
+	}
+	if cfg.Defaults.Stage == nil {
+		cfg.Defaults.Stage = stage.Shared()
+	}
+	if cfg.Defaults.Logf == nil {
+		cfg.Defaults.Logf = cfg.Logf
+	}
+	return &Registry{cfg: cfg, shards: map[string]*shard{}}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// ValidEnsembleName reports whether name is usable as a shard name (it
+// appears in URL paths and directory names).
+func ValidEnsembleName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a named ensemble shard without opening it (shards spin up
+// on first ask). The directory must hold a loadable ensemble catalog.
+// Registering the same name+dir again is idempotent; the same name with a
+// different dir fails with ErrEnsembleExists. The first registered shard
+// becomes the default target of the legacy (unversioned) HTTP routes.
+func (r *Registry) Register(name, dir string) (ShardInfo, error) {
+	if !ValidEnsembleName(name) {
+		return ShardInfo{}, ErrBadEnsembleName
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("service: resolve ensemble dir: %w", err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ShardInfo{}, ErrRegistryClosed
+	}
+	if sh, ok := r.shards[name]; ok {
+		if sh.dir != abs {
+			return ShardInfo{}, fmt.Errorf("%w: %q -> %s", ErrEnsembleExists, name, sh.dir)
+		}
+		return r.infoLocked(sh), nil
+	}
+	// Validate now so POST /v1/ensembles rejects junk immediately rather
+	// than failing the first ask: the catalog read is one small JSON file.
+	if _, err := hacc.Load(abs); err != nil {
+		return ShardInfo{}, fmt.Errorf("service: register %q: %w", name, err)
+	}
+	workDir, err := r.shardWorkDirLocked(name)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	sh := &shard{name: name, dir: abs, workDir: workDir, registered: time.Now()}
+	// A cache persisted by a previous daemon run describes the cold shard
+	// until its first spin-up revalidates it.
+	if fi, ok := ReadCacheFileInfo(workDir); ok {
+		sh.coldEntries, sh.coldSavedAt = fi.Entries, fi.SavedAt
+		sh.lastFP, sh.lastFPAt = fi.Fingerprint, fi.SavedAt
+	}
+	r.shards[name] = sh
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	r.logf("registry: registered ensemble %q -> %s", name, abs)
+	return r.infoLocked(sh), nil
+}
+
+// shardWorkDirLocked resolves (creating parents) the stable per-shard work
+// directory.
+func (r *Registry) shardWorkDirLocked(name string) (string, error) {
+	root := r.cfg.WorkDir
+	if root == "" {
+		if r.workRoot == "" {
+			tmp, err := os.MkdirTemp("", "infera-registry-*")
+			if err != nil {
+				return "", err
+			}
+			r.workRoot = tmp
+		}
+		root = r.workRoot
+	}
+	dir := filepath.Join(root, "shards", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// DefaultShard returns the shard name legacy routes resolve to ("" before
+// any Register).
+func (r *Registry) DefaultShard() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.defaultName
+}
+
+// Ensembles lists every registered shard, sorted by name.
+func (r *Registry) Ensembles() []ShardInfo {
+	r.mu.Lock()
+	shards := make([]*shard, 0, len(r.shards))
+	for _, sh := range r.shards {
+		shards = append(shards, sh)
+	}
+	r.mu.Unlock()
+	out := make([]ShardInfo, 0, len(shards))
+	for _, sh := range shards {
+		r.refreshFingerprint(sh)
+		r.mu.Lock()
+		out = append(out, r.infoLocked(sh))
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ensemble returns one shard's state — the GET /v1/ensembles/{eid} detail.
+func (r *Registry) Ensemble(name string) (ShardInfo, error) {
+	r.mu.Lock()
+	sh, ok := r.shards[name]
+	r.mu.Unlock()
+	if !ok {
+		return ShardInfo{}, ErrUnknownEnsemble
+	}
+	r.refreshFingerprint(sh)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.infoLocked(sh), nil
+}
+
+// refreshFingerprint re-resolves a live shard's fingerprint OUTSIDE the
+// registry lock — the memoized walk can stat a whole ensemble tree, and
+// one slow directory must not stall routing for the fleet.
+func (r *Registry) refreshFingerprint(sh *shard) {
+	r.mu.Lock()
+	svc := sh.svc
+	r.mu.Unlock()
+	if svc == nil {
+		return
+	}
+	if fp, err := svc.fingerprint(); err == nil {
+		r.mu.Lock()
+		sh.lastFP, sh.lastFPAt = fp, time.Now()
+		r.mu.Unlock()
+	}
+}
+
+func (r *Registry) infoLocked(sh *shard) ShardInfo {
+	info := ShardInfo{
+		Name:       sh.name,
+		Dir:        sh.dir,
+		State:      "cold",
+		Default:    sh.name == r.defaultName,
+		Registered: sh.registered,
+		LastUsed:   sh.lastUsed,
+		Opens:      sh.opens,
+		InFlight:   sh.refs,
+	}
+	if sh.svc != nil {
+		info.State = "live"
+		info.Workers = sh.svc.Workers()
+		info.CacheEntries = sh.svc.CacheLen()
+	} else {
+		info.CacheEntries = sh.coldEntries
+	}
+	info.Fingerprint = sh.lastFP
+	if !sh.lastFPAt.IsZero() {
+		info.FingerprintAge = time.Since(sh.lastFPAt)
+	}
+	return info
+}
+
+// acquire pins shard name live: it opens the shard if cold (waiting out any
+// concurrent open/close of the same shard) and increments its in-flight
+// count. Callers must release. Opening over budget schedules an LRU idle
+// eviction, performed after the lock is dropped.
+func (r *Registry) acquire(name string) (*shard, *Service, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, nil, ErrRegistryClosed
+		}
+		sh, ok := r.shards[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, nil, ErrUnknownEnsemble
+		}
+		if ch := sh.closing; ch != nil {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		if sh.svc != nil {
+			sh.refs++
+			sh.lastUsed = time.Now()
+			svc := sh.svc
+			r.mu.Unlock()
+			return sh, svc, nil
+		}
+		if ch := sh.opening; ch != nil {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		// This request opens the shard.
+		ch := make(chan struct{})
+		sh.opening = ch
+		r.mu.Unlock()
+
+		svc, err := r.openShard(sh)
+		var fp string
+		if err == nil {
+			// Resolve outside the lock: the first walk stats the whole tree.
+			fp, _ = svc.fingerprint()
+		}
+
+		r.mu.Lock()
+		sh.opening = nil
+		if err != nil {
+			r.mu.Unlock()
+			close(ch)
+			return nil, nil, err
+		}
+		sh.svc = svc
+		sh.refs++
+		sh.opens++
+		r.opens++
+		sh.lastUsed = time.Now()
+		sh.coldEntries, sh.coldSavedAt = 0, time.Time{}
+		if fp != "" {
+			sh.lastFP, sh.lastFPAt = fp, time.Now()
+		}
+		victims := r.victimsLocked()
+		r.mu.Unlock()
+		close(ch)
+		// Victims close in the background: their drain-and-persist must not
+		// delay this request (the closing channel keeps revival correct —
+		// an acquire of a closing shard waits for the persist to finish).
+		for _, v := range victims {
+			go r.closeShard(v, true)
+		}
+		return sh, svc, nil
+	}
+}
+
+// openShard builds the shard's Service from the registry defaults. Called
+// without the registry lock (pool construction stages nothing but does load
+// the catalog and spawn workers).
+func (r *Registry) openShard(sh *shard) (*Service, error) {
+	cfg := r.cfg.Defaults
+	cfg.EnsembleDir = sh.dir
+	cfg.WorkDir = sh.workDir
+	svc, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: open shard %q: %w", sh.name, err)
+	}
+	r.logf("registry: shard %q live (%d workers, %d revived cache entries)",
+		sh.name, svc.Workers(), svc.CacheLen())
+	return svc, nil
+}
+
+// release unpins a shard and, now that a slot may have become idle,
+// enforces the live budget. Evictions run in the background so the
+// releasing request's response is never held back by another shard's
+// shutdown I/O.
+func (r *Registry) release(sh *shard) {
+	r.mu.Lock()
+	sh.refs--
+	sh.lastUsed = time.Now()
+	victims := r.victimsLocked()
+	r.mu.Unlock()
+	for _, v := range victims {
+		go r.closeShard(v, true)
+	}
+}
+
+// victimsLocked picks idle live shards to close, least recently used first,
+// until the live count fits the budget. Shards with in-flight requests (or
+// mid-open/close) are skipped — the budget can overshoot under a wide
+// burst and recovers as requests release.
+func (r *Registry) victimsLocked() []*shard {
+	var victims []*shard
+	live := 0
+	for _, sh := range r.shards {
+		// A shard mid-close is already leaving the live set.
+		if sh.svc != nil && sh.closing == nil {
+			live++
+		}
+	}
+	for live > r.cfg.MaxLiveShards {
+		var lru *shard
+		for _, sh := range r.shards {
+			if sh.svc == nil || sh.refs > 0 || sh.closing != nil || sh.opening != nil {
+				continue
+			}
+			if lru == nil || sh.lastUsed.Before(lru.lastUsed) {
+				lru = sh
+			}
+		}
+		if lru == nil {
+			break
+		}
+		// Mark closing and detach under the lock so concurrent acquires wait
+		// on the channel instead of pinning a dying Service.
+		lru.closing = make(chan struct{})
+		victims = append(victims, lru)
+		live--
+	}
+	return victims
+}
+
+// closeShard drains and closes a shard marked closing by victimsLocked (or
+// by Close), persisting its answer cache and recording its final counters.
+func (r *Registry) closeShard(sh *shard, evicted bool) {
+	svc := sh.svc
+	final := svc.Metrics()
+	entries := svc.CacheLen()
+	if err := svc.Close(); err != nil {
+		r.logf("registry: close shard %q: %v", sh.name, err)
+	}
+	r.mu.Lock()
+	sh.svc = nil
+	ch := sh.closing
+	sh.closing = nil
+	sh.coldEntries = entries
+	sh.coldSavedAt = time.Now()
+	if final.Fingerprint != "" {
+		sh.lastFP, sh.lastFPAt = final.Fingerprint, time.Now()
+	}
+	r.retired.add(final)
+	if evicted {
+		r.evictions++
+	}
+	r.mu.Unlock()
+	close(ch)
+	if evicted {
+		r.logf("registry: shard %q closed (idle LRU, %d cache entries persisted)", sh.name, entries)
+	}
+}
+
+// Ask routes one question to shard name, spinning the shard up if cold.
+func (r *Registry) Ask(name string, req AskRequest) (*AskResult, error) {
+	sh, svc, err := r.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(sh)
+	return svc.Ask(req)
+}
+
+// pinLive pins shard name only if it is already live: the session and
+// metrics read paths must not spin up (or keep hot) a pool just to report
+// state. Cold shards have no in-memory session state — their records died
+// with the pool; provenance remains on disk under the shard WorkDir.
+func (r *Registry) pinLive(name string) (*shard, *Service, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, ErrRegistryClosed
+	}
+	sh, ok := r.shards[name]
+	if !ok {
+		return nil, nil, ErrUnknownEnsemble
+	}
+	if sh.svc == nil || sh.closing != nil {
+		return nil, nil, ErrShardCold
+	}
+	sh.refs++
+	return sh, sh.svc, nil
+}
+
+// Sessions lists shard name's session records; a cold shard reports none.
+func (r *Registry) Sessions(name string) ([]SessionInfo, error) {
+	sh, svc, err := r.pinLive(name)
+	if errors.Is(err, ErrShardCold) {
+		return []SessionInfo{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(sh)
+	return svc.Sessions(), nil
+}
+
+// Session returns one session record of shard name.
+func (r *Registry) Session(name, id string) (SessionInfo, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	defer r.release(sh)
+	info, ok := svc.Session(id)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("service: unknown session %q", id)
+	}
+	return info, nil
+}
+
+// Provenance returns the artifact manifest behind one session record of
+// shard name.
+func (r *Registry) Provenance(name, id string) ([]provenance.Entry, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(sh)
+	return svc.Provenance(id)
+}
+
+// VerifySession re-hashes the artifact trail behind one session record of
+// shard name, returning failing entries.
+func (r *Registry) VerifySession(name, id string) ([]provenance.Entry, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(sh)
+	return svc.VerifySession(id)
+}
+
+// ShardMetrics returns shard name's Metrics. A cold shard reports a stub:
+// zero counters (they reset with the pool; lifetime totals live in the
+// aggregate Metrics), the close-time fingerprint and the persisted cache
+// length.
+func (r *Registry) ShardMetrics(name string) (Metrics, error) {
+	sh, svc, err := r.pinLive(name)
+	if errors.Is(err, ErrShardCold) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		m := Metrics{Fingerprint: r.shards[name].lastFP}
+		m.Cache.Len = r.shards[name].coldEntries
+		m.Stage = r.cfg.Defaults.Stage.Stats()
+		return m, nil
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer r.release(sh)
+	return svc.Metrics(), nil
+}
+
+// Metrics returns the aggregate fleet snapshot.
+func (r *Registry) Metrics() RegistryMetrics {
+	r.mu.Lock()
+	m := RegistryMetrics{
+		Shards:         len(r.shards),
+		MaxLiveShards:  r.cfg.MaxLiveShards,
+		ShardOpens:     r.opens,
+		ShardEvictions: r.evictions,
+		ShardTotals:    r.retired,
+	}
+	var liveSvcs []*Service
+	for _, sh := range r.shards {
+		if sh.svc != nil {
+			m.Live++
+			liveSvcs = append(liveSvcs, sh.svc)
+		} else {
+			m.Cold++
+		}
+	}
+	r.mu.Unlock()
+	// Per-shard snapshots outside the registry lock: Metrics() resolves a
+	// (memoized) fingerprint.
+	for _, svc := range liveSvcs {
+		m.ShardTotals.add(svc.Metrics())
+	}
+	m.Stage = r.cfg.Defaults.Stage.Stats()
+	return m
+}
+
+// Close closes every live shard (persisting answer caches) and rejects
+// further use. Waits out in-flight opens/closes; shards with requests in
+// flight drain through Service.Close.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for {
+		r.mu.Lock()
+		var target *shard
+		var wait chan struct{}
+		for _, sh := range r.shards {
+			if sh.opening != nil {
+				wait = sh.opening
+				break
+			}
+			if sh.closing != nil {
+				wait = sh.closing
+				break
+			}
+			if sh.svc != nil && target == nil {
+				target = sh
+			}
+		}
+		if wait == nil && target != nil {
+			target.closing = make(chan struct{})
+		}
+		r.mu.Unlock()
+		if wait != nil {
+			<-wait
+			continue
+		}
+		if target == nil {
+			return nil
+		}
+		r.closeShard(target, false)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -173,9 +174,13 @@ type task struct {
 type Service struct {
 	cfg        Config
 	assistants []*core.Assistant
-	cache      *Cache
-	queue      chan *task
-	wg         sync.WaitGroup
+	// extraStores are provenance stores from worker dirs of a previous
+	// incarnation beyond the current pool size (a restart with fewer
+	// workers); revived cache entries may reference sessions in them.
+	extraStores []*provenance.Store
+	cache       *Cache
+	queue       chan *task
+	wg          sync.WaitGroup
 
 	mu       sync.Mutex
 	closed   bool
@@ -260,6 +265,39 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.assistants = append(s.assistants, a)
 	}
+	// Revive the persisted answer cache (if any) before traffic arrives;
+	// entries from a changed ensemble are dropped by fingerprint.
+	s.loadPersistedCache()
+	// A stable WorkDir may hold provenance sessions from a previous
+	// incarnation (daemon restart, shard revival); resume the ID sequence
+	// past ALL of them — including worker dirs beyond the current pool
+	// size, whose sessions persisted cache entries may still reference —
+	// so new sessions never collide with (or shadow) on-disk trails. The
+	// orphaned dirs' stores stay readable for provenance resolution.
+	if cfg.WorkDir != "" {
+		current := map[string]bool{}
+		for _, a := range s.assistants {
+			current[a.WorkDir()] = true
+		}
+		workerDirs, _ := filepath.Glob(filepath.Join(cfg.WorkDir, "worker-*"))
+		for _, w := range workerDirs {
+			entries, err := os.ReadDir(filepath.Join(w, "sessions"))
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				var n int
+				if _, err := fmt.Sscanf(e.Name(), "q-%d", &n); err == nil && n > s.nextID {
+					s.nextID = n
+				}
+			}
+			if !current[w] && len(entries) > 0 {
+				if store, err := provenance.NewStore(filepath.Join(w, "sessions")); err == nil {
+					s.extraStores = append(s.extraStores, store)
+				}
+			}
+		}
+	}
 	for i, a := range s.assistants {
 		s.wg.Add(1)
 		go s.worker(i, a)
@@ -267,7 +305,8 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Close drains the queue, stops the workers and releases the assistants.
+// Close drains the queue, stops the workers, persists the answer cache
+// (when WorkDir is stable — see persist.go) and releases the assistants.
 // Pending requests complete; new Asks fail with ErrClosed.
 func (s *Service) Close() error {
 	s.mu.Lock()
@@ -280,6 +319,11 @@ func (s *Service) Close() error {
 	close(s.queue)
 	s.wg.Wait()
 	var first error
+	// All workers have stopped, so the cache is quiescent: this snapshot is
+	// complete, including answers computed by the final drain.
+	if err := s.persistCache(); err != nil {
+		first = err
+	}
 	for _, a := range s.assistants {
 		if err := a.Close(); err != nil && first == nil {
 			first = err
@@ -544,18 +588,18 @@ func (s *Service) Session(id string) (SessionInfo, bool) {
 }
 
 // resolveTarget maps a session-record ID to the provenance session that
-// holds its artifact trail (itself, or SourceSession for cached requests)
-// and the assistant whose store contains it. When the backing record was
-// trimmed from the bounded history, the trail is still on disk in one of
-// the pool's stores, so resolution falls back to scanning them — cache
-// entries (and the records serving them) routinely outlive the source
-// session's record.
-func (s *Service) resolveTarget(id string) (string, *core.Assistant, error) {
+// holds its artifact trail (itself, or SourceSession for cached requests),
+// opened from the store that contains it. When the backing record was
+// trimmed from the bounded history — or revived from a persisted cache and
+// computed by a previous incarnation — the trail is still on disk, so
+// resolution falls back to scanning the pool's stores and any orphaned
+// worker stores a restart left behind.
+func (s *Service) resolveTarget(id string) (*provenance.Session, error) {
 	s.mu.Lock()
 	info, ok := s.sessions[id]
 	if !ok {
 		s.mu.Unlock()
-		return "", nil, fmt.Errorf("service: unknown session %q", id)
+		return nil, fmt.Errorf("service: unknown session %q", id)
 	}
 	target := info.ID
 	if info.SourceSession != "" {
@@ -564,24 +608,25 @@ func (s *Service) resolveTarget(id string) (string, *core.Assistant, error) {
 	idx, ok := s.sessionWorker[target]
 	s.mu.Unlock()
 	if ok {
-		return target, s.assistants[idx], nil
+		return s.assistants[idx].Store().OpenSession(target)
 	}
+	stores := make([]*provenance.Store, 0, len(s.assistants)+len(s.extraStores))
 	for _, a := range s.assistants {
-		if _, err := a.Store().OpenSession(target); err == nil {
-			return target, a, nil
+		stores = append(stores, a.Store())
+	}
+	stores = append(stores, s.extraStores...)
+	for _, store := range stores {
+		if sess, err := store.OpenSession(target); err == nil {
+			return sess, nil
 		}
 	}
-	return "", nil, fmt.Errorf("service: session %q has no provenance", id)
+	return nil, fmt.Errorf("service: session %q has no provenance", id)
 }
 
 // Provenance returns the manifest of the provenance session backing record
 // id, following SourceSession for cached requests.
 func (s *Service) Provenance(id string) ([]provenance.Entry, error) {
-	target, a, err := s.resolveTarget(id)
-	if err != nil {
-		return nil, err
-	}
-	sess, err := a.Store().OpenSession(target)
+	sess, err := s.resolveTarget(id)
 	if err != nil {
 		return nil, err
 	}
@@ -591,11 +636,11 @@ func (s *Service) Provenance(id string) ([]provenance.Entry, error) {
 // VerifySession re-hashes the artifact trail backing record id (§4.2.1
 // audit), returning failing entries.
 func (s *Service) VerifySession(id string) ([]provenance.Entry, error) {
-	target, a, err := s.resolveTarget(id)
+	sess, err := s.resolveTarget(id)
 	if err != nil {
 		return nil, err
 	}
-	return a.VerifySession(target)
+	return sess.Verify()
 }
 
 // fingerprint resolves the ensemble fingerprint, memoized per
@@ -606,6 +651,12 @@ func (s *Service) fingerprint() (string, error) {
 	}
 	return CachedFingerprint(s.cfg.EnsembleDir, s.cfg.FingerprintTTL)
 }
+
+// Workers returns the assistant-pool size.
+func (s *Service) Workers() int { return len(s.assistants) }
+
+// CacheLen returns the current answer-cache entry count.
+func (s *Service) CacheLen() int { return s.cache.Len() }
 
 // Metrics returns a point-in-time snapshot of the counters.
 func (s *Service) Metrics() Metrics {

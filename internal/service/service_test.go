@@ -15,6 +15,13 @@ import (
 
 func testEnsemble(t *testing.T) string {
 	t.Helper()
+	return testEnsembleSeeded(t, 3)
+}
+
+// testEnsembleSeeded generates a small ensemble whose data differs by seed,
+// so multi-shard tests can tell answers from different ensembles apart.
+func testEnsembleSeeded(t *testing.T, seed int64) string {
+	t.Helper()
 	dir := t.TempDir()
 	spec := hacc.Spec{
 		Runs:             2,
@@ -22,7 +29,7 @@ func testEnsemble(t *testing.T) string {
 		HalosPerRun:      100,
 		ParticlesPerStep: 100,
 		BoxSize:          128,
-		Seed:             3,
+		Seed:             seed,
 	}
 	if _, err := hacc.Generate(dir, spec); err != nil {
 		t.Fatal(err)
@@ -508,6 +515,77 @@ func TestServiceStagingDBReclaimed(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(work2, "worker-00", "db", res2.RequestID)); err != nil {
 		t.Errorf("KeepStagingDBs should preserve the staging DB: %v", err)
+	}
+}
+
+// TestServiceCachePersistence: a service with a stable WorkDir serializes
+// its answer cache on Close and a successor over the same WorkDir revives
+// it — unless the ensemble changed, in which case the stale entries are
+// dropped at load (fingerprint re-validation).
+func TestServiceCachePersistence(t *testing.T) {
+	dir := testEnsemble(t)
+	work := t.TempDir()
+
+	first := newService(t, Config{Workers: 1, EnsembleDir: dir, WorkDir: work})
+	res, err := first.Ask(AskRequest{Question: topHalosQ})
+	if err != nil || res.Error != "" {
+		t.Fatalf("ask: %v %+v", err, res)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(work, CacheFileName)); err != nil {
+		t.Fatalf("cache file not persisted: %v", err)
+	}
+	if fi, ok := ReadCacheFileInfo(work); !ok || fi.Entries != 1 {
+		t.Fatalf("cache file info = %+v %v", fi, ok)
+	}
+
+	// Simulate a pool shrink across the restart: the original worker dir is
+	// orphaned (no assistant owns it), but its provenance sessions are still
+	// referenced by the persisted cache.
+	if err := os.Rename(filepath.Join(work, "worker-00"), filepath.Join(work, "worker-07")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the same question is a hit without any computation, and its
+	// provenance still resolves from the (now orphaned) on-disk trail.
+	second := newService(t, Config{Workers: 1, EnsembleDir: dir, WorkDir: work})
+	hit, err := second.Ask(AskRequest{Question: topHalosQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.SessionID != res.SessionID {
+		t.Fatalf("restart should serve from the persisted cache: %+v", hit)
+	}
+	if entries, err := second.Provenance(hit.RequestID); err != nil || len(entries) == 0 {
+		t.Fatalf("provenance after restart: %v (%d entries)", err, len(entries))
+	}
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Change the ensemble: the persisted entries no longer validate, so the
+	// next incarnation starts cold for safety.
+	if err := os.WriteFile(filepath.Join(dir, "extra-run.bin"), []byte("new data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	InvalidateFingerprint(dir)
+	third := newService(t, Config{Workers: 1, EnsembleDir: dir, WorkDir: work})
+	if third.CacheLen() != 0 {
+		t.Fatalf("stale persisted entries must be dropped, cache len = %d", third.CacheLen())
+	}
+	miss, err := third.Ask(AskRequest{Question: topHalosQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Cached {
+		t.Fatal("changed ensemble must not serve persisted answers")
+	}
+	// The ID sequence resumed past the orphaned worker's sessions, so the
+	// new computation can never shadow the old q-0001 trail.
+	if miss.RequestID == res.RequestID {
+		t.Fatalf("restarted service reused session ID %s", miss.RequestID)
 	}
 }
 
