@@ -4,8 +4,16 @@
 // through the multi-agent workflow, and reports results with full
 // provenance locations.
 //
+// The REPL is a thin client: it starts the same service registry the
+// inferad daemon runs, on a loopback listener, and drives every question
+// through the versioned /v1 interactive-session API — an `interactive` ask
+// job, the server-sent event stream, and the plan approval endpoint — so
+// the terminal plan review and a remote HTTP client's plan review exercise
+// one pipeline. With -auto it posts blocking (non-interactive) asks over
+// the same API instead.
+//
 // With -serve it skips the REPL and runs the concurrent query service
-// (the inferad daemon) on -addr instead.
+// (the inferad daemon) on -addr.
 //
 // Usage:
 //
@@ -15,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,10 +31,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"infera/internal/agent"
-	"infera/internal/core"
-	"infera/internal/llm"
+	"infera/internal/client"
+	"infera/internal/dataframe"
+	"infera/internal/hacc"
 	"infera/internal/service"
 	"infera/internal/stage"
 )
@@ -52,28 +63,49 @@ func main() {
 		runService(*ensemble, *work, *addr, *seed, *server)
 		return
 	}
+	runREPL(*ensemble, *work, *seed, *auto, *server)
+}
 
-	cfg := core.Config{
-		EnsembleDir: *ensemble,
-		WorkDir:     *work,
-		Seed:        *seed,
-		UseServer:   *server,
-		Logf:        log.Printf,
+// runREPL serves the registry on loopback and drives it through the typed
+// client — the same code path a remote interactive consumer runs.
+func runREPL(ensemble, work string, seed int64, auto, sandboxServer bool) {
+	reg := service.NewRegistry(service.RegistryConfig{
+		Defaults: service.Config{
+			Seed:      seed,
+			UseServer: sandboxServer,
+			Workers:   1, // one human, one session at a time
+			// A terminal review waits on a human; keep the auto-approve
+			// expiry generous (abandoned remote sessions are the short case).
+			ApprovalTimeout: 10 * time.Minute,
+		},
+		WorkDir: work,
+	})
+	if _, err := reg.Register("default", ensemble); err != nil {
+		log.Fatal(err)
 	}
-	stdin := bufio.NewReader(os.Stdin)
-	if !*auto {
-		cfg.Feedback = &consoleFeedback{in: stdin}
+	srv := service.NewServer(reg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
 	}
-	assistant, err := core.New(cfg)
+	defer func() {
+		if err := reg.Close(); err != nil {
+			log.Printf("infera: registry close: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("infera: http close: %v", err)
+		}
+	}()
+	cli := client.New(srv.Addr())
+
+	cat, err := hacc.Load(ensemble)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer assistant.Close()
-
 	fmt.Println("InferA — smart assistant for cosmological ensemble data")
-	fmt.Print(assistant.Catalog().Describe())
+	fmt.Print(cat.Describe())
 	fmt.Println(`Type a question (or "quit"):`)
 
+	stdin := bufio.NewReader(os.Stdin)
 	for {
 		fmt.Print("\n> ")
 		line, err := stdin.ReadString('\n')
@@ -87,24 +119,95 @@ func main() {
 		case "quit", "exit":
 			return
 		}
-		ans, askErr := assistant.Ask(question)
-		if ans == nil {
-			log.Printf("error: %v", askErr)
-			continue
+
+		var res *service.AskResult
+		var askErr error
+		if auto {
+			res, askErr = cli.Ask("default", service.AskRequest{Question: question})
+		} else {
+			res, askErr = cli.ReviewedAsk("default", service.AskRequest{Question: question},
+				func(ev agent.Event) agent.PlanDecision { return reviewOnConsole(stdin, ev) },
+				printEvent)
 		}
 		if askErr != nil {
-			log.Printf("run failed: %v (completed %.0f%% of the plan)", askErr, 100*ans.TaskCompleteness())
+			if res != nil && errors.Is(askErr, client.ErrDecisionExpired) {
+				log.Printf("warning: %v — the answer below came from the auto-approved plan", askErr)
+			} else {
+				log.Printf("error: %v", askErr)
+				continue
+			}
 		}
-		if ans.Answer != nil {
+		printResult(res)
+	}
+}
+
+// reviewOnConsole shows a proposed/revised plan and reads the verdict.
+func reviewOnConsole(in *bufio.Reader, ev agent.Event) agent.PlanDecision {
+	if ev.Kind == agent.EventPlanRevised {
+		fmt.Println("\nRevised plan:")
+	} else {
+		fmt.Println("\nProposed plan:")
+	}
+	if ev.Plan != nil {
+		fmt.Print(ev.Plan.String())
+	}
+	fmt.Print("Approve? [Y/n or type feedback]: ")
+	line, err := in.ReadString('\n')
+	if err != nil {
+		return agent.PlanDecision{Approve: true}
+	}
+	line = strings.TrimSpace(line)
+	switch strings.ToLower(line) {
+	case "", "y", "yes":
+		return agent.PlanDecision{Approve: true}
+	case "n", "no":
+		return agent.PlanDecision{Approve: false, Comment: "please revise the plan"}
+	default:
+		return agent.PlanDecision{Approve: false, Comment: line}
+	}
+}
+
+// printEvent narrates the streamed workflow progress.
+func printEvent(ev agent.Event) {
+	switch ev.Kind {
+	case agent.EventStepStarted:
+		fmt.Printf("[%s] step %d: %s\n", ev.Agent, ev.Step+1, ev.Task)
+	case agent.EventStepFinished:
+		if !ev.OK {
+			fmt.Printf("[%s] step failed: %s\n", ev.Agent, ev.Detail)
+		}
+	case agent.EventQAVerdict:
+		if !ev.OK {
+			fmt.Printf("[qa] requested regeneration: %s\n", ev.Detail)
+		}
+	case agent.EventErrorHint:
+		fmt.Printf("[%s] step error: %s\n", ev.Agent, ev.Detail)
+		if ev.Hint != "" {
+			fmt.Printf("suggesting correction: %s\n", ev.Hint)
+		}
+	}
+}
+
+// printResult renders the final answer the way the pre-streaming REPL did.
+func printResult(res *service.AskResult) {
+	if res.Error != "" {
+		log.Printf("run failed: %v", res.Error)
+	}
+	if res.AnswerCSV != "" {
+		frame, err := dataframe.ReadCSV(strings.NewReader(res.AnswerCSV))
+		if err != nil {
+			log.Printf("could not render answer table: %v\nraw CSV:\n%s", err, res.AnswerCSV)
+		} else {
 			fmt.Println("\nResult:")
-			fmt.Print(ans.Answer.String())
+			fmt.Print(frame.String())
 		}
-		fmt.Printf("\nsession %s | %d tokens | %d redo iterations | storage %.2f MB (%.4f%% of source) | %s\n",
-			ans.SessionID, ans.State.Usage.Total(), ans.State.RedoCount,
-			float64(ans.DBBytes+ans.ProvenanceBytes)/1e6,
-			100*ans.StorageOverheadFraction(), ans.Duration.Round(1e6))
-		for _, e := range ans.ArtifactsOfKind("plot", "scene") {
-			fmt.Printf("  artifact: %s (%s)\n", e.File, e.Kind)
+	}
+	fmt.Printf("\nsession %s | %d tokens | %d redo iterations | storage %.2f MB | %s\n",
+		res.SessionID, res.Tokens, res.RedoCount,
+		float64(res.StorageBytes)/1e6, res.Elapsed.Round(time.Millisecond))
+	for _, a := range res.Artifacts {
+		if a.Kind == "plot" || a.Kind == "scene" {
+			fmt.Printf("  artifact: %s (%s)\n", a.File, a.Kind)
 		}
 	}
 }
@@ -142,41 +245,4 @@ func runService(ensemble, work, addr string, seed int64, sandboxServer bool) {
 	if err := srv.Close(); err != nil {
 		log.Printf("infera: http close: %v", err)
 	}
-}
-
-// consoleFeedback implements the human-in-the-loop hooks on the terminal.
-type consoleFeedback struct {
-	in *bufio.Reader
-}
-
-var _ agent.Feedback = (*consoleFeedback)(nil)
-
-func (c *consoleFeedback) ReviewPlan(plan llm.Plan) (bool, string) {
-	fmt.Println("\nProposed plan:")
-	fmt.Print(plan.String())
-	fmt.Print("Approve? [Y/n or type feedback]: ")
-	line, err := c.in.ReadString('\n')
-	if err != nil {
-		return true, ""
-	}
-	line = strings.TrimSpace(line)
-	switch strings.ToLower(line) {
-	case "", "y", "yes":
-		return true, ""
-	case "n", "no":
-		return false, "please revise the plan"
-	default:
-		return false, line
-	}
-}
-
-func (c *consoleFeedback) OnError(step llm.PlanStep, errMsg string) (string, bool) {
-	// Offer the dictionary correction automatically, as a human expert
-	// would (§4.2.2), but show the error first.
-	fmt.Printf("\n[%s] step error: %s\n", step.Agent, errMsg)
-	if col, ok := agent.CorrectColumnFor(errMsg); ok {
-		fmt.Printf("suggesting correction: use column %s\n", col)
-		return "use column " + col, true
-	}
-	return "", false
 }

@@ -28,7 +28,33 @@
 //	curl -s localhost:8080/v1/ensembles/cosmo-a/ask -d '{"question": "top 20 largest halos at timestep 498 in simulation 0", "seed": 1}'
 //
 // The response carries the answer table as CSV, the plan size, token usage,
-// artifact references and the provenance session ID. Inspect the fleet:
+// artifact references and the provenance session ID.
+//
+// # Interactive sessions (streaming plan approval)
+//
+// Adding "interactive": true to the ask body turns the request into a
+// streaming session: the POST answers 202 with a session record
+// immediately, and the workflow's typed lifecycle events — plan_proposed,
+// plan_revised, step_started, step_finished, qa_verdict,
+// error_hint_requested, answer — stream from the session's event log:
+//
+//	curl -s localhost:8080/v1/ensembles/cosmo-a/ask -d '{"question": "...", "interactive": true}'   # 202 -> {"id": "q-0007", ...}
+//	curl -sN localhost:8080/v1/ensembles/cosmo-a/sessions/q-0007/events                            # server-sent events
+//	curl -s 'localhost:8080/v1/ensembles/cosmo-a/sessions/q-0007/events?after=0&wait=10s'          # long-poll fallback
+//	curl -s  localhost:8080/v1/ensembles/cosmo-a/sessions/q-0007/plan -d '{"approve": false, "comment": "also plot it"}'
+//	curl -s  localhost:8080/v1/ensembles/cosmo-a/sessions/q-0007/plan -d '{"approve": true}'
+//	curl -s  localhost:8080/v1/ensembles/cosmo-a/sessions/q-0007/result                            # once the stream completes
+//
+// A dropped SSE connection resumes without loss or duplication via the
+// standard Last-Event-ID header. Sessions whose reviewer never answers
+// auto-approve after -approval-timeout, so abandoned interactive asks
+// expire instead of pinning workers. Shard admin:
+//
+//	curl -s -X POST   localhost:8080/v1/ensembles/cosmo-a/warm              # spin pool + fingerprint up before a burst
+//	curl -s -X DELETE localhost:8080/v1/ensembles/cosmo-a                   # unregister (close + persist cache if live)
+//	curl -s -X DELETE 'localhost:8080/v1/ensembles/cosmo-a?purge=provenance' # ... and remove its on-disk trail
+//
+// Inspect the fleet:
 //
 //	curl -s localhost:8080/v1/ensembles                                # all shards (live/cold, caches)
 //	curl -s localhost:8080/v1/ensembles/cosmo-a                        # one shard's detail
@@ -124,6 +150,8 @@ func main() {
 		trim      = flag.Bool("trim", true, "trim supervisor history (token optimization)")
 		skipdoc   = flag.Bool("skipdoc", false, "skip the documentation agent")
 		sandboxS  = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
+		approval  = flag.Duration("approval-timeout", 0, "interactive plan-review deadline before auto-approval (0 = 60s default)")
+		eventBuf  = flag.Int("event-buffer", 0, "per-session event-log capacity for interactive asks (0 = 512 default)")
 		stageMB   = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all shards)")
 		fpTTL     = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
 		verbose   = flag.Bool("v", false, "log per-request progress")
@@ -147,6 +175,8 @@ func main() {
 			SkipDocumentation: *skipdoc,
 			UseServer:         *sandboxS,
 			FingerprintTTL:    *fpTTL,
+			ApprovalTimeout:   *approval,
+			EventBuffer:       *eventBuf,
 			NewModel: func(seed int64) llm.Client {
 				return llm.NewSim(llm.SimConfig{Seed: seed})
 			},

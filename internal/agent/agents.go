@@ -53,6 +53,22 @@ func Run(rt *Runtime, question string) (*Result, error) {
 	if f, rerr := rt.DB.ReadTable("analysis"); rerr == nil {
 		res.Answer = f
 	}
+	ans := &AnswerEvent{
+		Summary:    res.Summary,
+		PlanSteps:  len(st.Plan.Steps),
+		Tokens:     st.Usage.Total(),
+		RedoCount:  st.RedoCount,
+		Failed:     st.Failed || err != nil,
+		Error:      st.FailReason,
+		DurationNS: res.Duration.Nanoseconds(),
+	}
+	if err != nil {
+		ans.Error = err.Error()
+	}
+	if res.Answer != nil {
+		ans.Rows = res.Answer.NumRows()
+	}
+	rt.emit(Event{Kind: EventAnswer, OK: !ans.Failed, Answer: ans})
 	if err != nil {
 		return res, err
 	}
@@ -98,6 +114,11 @@ func plannerNode(rt *Runtime, st *State) (string, error) {
 		}
 		st.Plan = plan
 		st.PlanRounds = round + 1
+		kind := EventPlanProposed
+		if round > 0 {
+			kind = EventPlanRevised
+		}
+		rt.emit(Event{Kind: kind, Round: round, Plan: &plan})
 		if rt.Feedback == nil {
 			break
 		}
@@ -150,14 +171,21 @@ func supervisorNode(rt *Runtime, st *State) (string, error) {
 	}
 }
 
+// stepStarted announces a worker agent picking up the current plan step.
+func stepStarted(rt *Runtime, st *State, agentName string) {
+	rt.emit(Event{Kind: EventStepStarted, Agent: agentName, Task: currentTask(st), Step: st.StepIdx})
+}
+
 // stepDone marks the current plan step complete.
-func stepDone(st *State, note string) {
+func stepDone(rt *Runtime, st *State, agentName, note string) {
+	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx, OK: true, Detail: note})
 	st.Completed = append(st.Completed, note)
 	st.StepIdx++
 }
 
 // stepFailed aborts the run at the current step.
-func stepFailed(st *State, reason string) {
+func stepFailed(rt *Runtime, st *State, agentName, reason string) {
+	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx, OK: false, Detail: reason})
 	st.Failed = true
 	st.FailReason = reason
 	st.Failures = append(st.Failures, reason)
@@ -170,6 +198,7 @@ func stepFailed(st *State, reason string) {
 func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
+	stepStarted(rt, st, "dataloader")
 
 	// RAG retrieval provides the metadata context; record it so the
 	// provenance trail shows why these columns were chosen.
@@ -264,7 +293,7 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 		}
 	}
 	rt.logf("loaded: %s", strings.TrimSpace(report.String()))
-	stepDone(st, "data loading: "+task)
+	stepDone(rt, st, "dataloader", "data loading: "+task)
 	return nodeSupervisor, nil
 }
 
@@ -431,7 +460,7 @@ func columnNames(ti sqldb.TableInfo) []string {
 
 // qaAssess asks the QA agent to judge a step outcome; it returns pass and
 // the feedback text.
-func qaAssess(rt *Runtime, st *State, task, preview, errMsg string) (bool, string, error) {
+func qaAssess(rt *Runtime, st *State, agentName, task, preview, errMsg string) (bool, string, error) {
 	var resp llm.QAResponse
 	err := callModel(rt, st, "qa", llm.SkillQA,
 		"You are the quality assurance agent. Score the output 1-100 for whether it satisfactorily completes the delegated task.",
@@ -439,6 +468,7 @@ func qaAssess(rt *Runtime, st *State, task, preview, errMsg string) (bool, strin
 	if err != nil {
 		return false, "", err
 	}
+	rt.emit(Event{Kind: EventQAVerdict, Agent: agentName, Task: task, Step: st.StepIdx, OK: resp.Pass, Detail: resp.Feedback})
 	return resp.Pass, resp.Feedback, nil
 }
 
@@ -448,7 +478,10 @@ func humanHint(rt *Runtime, st *State, errMsg string) string {
 	if rt.Feedback == nil {
 		return ""
 	}
-	if hint, ok := rt.Feedback.OnError(currentStep(st), errMsg); ok {
+	step := currentStep(st)
+	hint, ok := rt.Feedback.OnError(step, errMsg)
+	rt.emit(Event{Kind: EventErrorHint, Agent: step.Agent, Task: step.Task, Step: st.StepIdx, OK: ok, Detail: errMsg, Hint: hint})
+	if ok {
 		return " [human hint: " + hint + "]"
 	}
 	return ""
@@ -459,6 +492,7 @@ func humanHint(rt *Runtime, st *State, errMsg string) string {
 func sqlNode(rt *Runtime, st *State) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
+	stepStarted(rt, st, "sql")
 	type target struct {
 		src, dst, role string
 	}
@@ -479,7 +513,7 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 		targets = append(targets, target{"galaxies", "work", hacc.FileGalaxies})
 	}
 	if len(targets) == 0 {
-		stepFailed(st, "sql: no staged tables to filter")
+		stepFailed(rt, st, "sql", "sql: no staged tables to filter")
 		return nodeSupervisor, nil
 	}
 	for _, tgt := range targets {
@@ -506,7 +540,7 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 				priorError = qerr.Error() + humanHint(rt, st, qerr.Error())
 				continue
 			}
-			pass, feedback, aerr := qaAssess(rt, st, task, fmt.Sprintf("query returned %d rows x %d cols", frame.NumRows(), frame.NumCols()), "")
+			pass, feedback, aerr := qaAssess(rt, st, "sql", task, fmt.Sprintf("query returned %d rows x %d cols", frame.NumRows(), frame.NumCols()), "")
 			if aerr != nil {
 				return "", aerr
 			}
@@ -528,11 +562,11 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 			break
 		}
 		if !ok {
-			stepFailed(st, fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError))
+			stepFailed(rt, st, "sql", fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError))
 			return nodeSupervisor, nil
 		}
 	}
-	stepDone(st, "sql filtering: "+task)
+	stepDone(rt, st, "sql", "sql filtering: "+task)
 	return nodeSupervisor, nil
 }
 
@@ -568,6 +602,7 @@ func scriptTables(st *State) map[string][]string {
 func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
+	stepStarted(rt, st, agentName)
 	priorError := ""
 	for attempt := 0; attempt <= rt.MaxRevisions; attempt++ {
 		req := llm.ScriptRequest{
@@ -603,7 +638,7 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 			priorError = res.Error + humanHint(rt, st, res.Error)
 			continue
 		}
-		pass, feedback, aerr := qaAssess(rt, st, task, res.Preview(), "")
+		pass, feedback, aerr := qaAssess(rt, st, agentName, task, res.Preview(), "")
 		if aerr != nil {
 			return "", aerr
 		}
@@ -637,10 +672,10 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 				}
 			}
 		}
-		stepDone(st, agentName+": "+task)
+		stepDone(rt, st, agentName, agentName+": "+task)
 		return nodeSupervisor, nil
 	}
-	stepFailed(st, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError))
+	stepFailed(rt, st, agentName, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError))
 	return nodeSupervisor, nil
 }
 

@@ -83,6 +83,11 @@ type Runtime struct {
 	// gio file once. Nil uses the process-wide stage.Shared() cache.
 	Stage *stage.Cache
 
+	// Events, when set, receives the run's typed lifecycle stream
+	// (plan_proposed ... answer) — the substrate the serving layer streams
+	// to clients. Nil emits nothing; the workflow is unaffected either way.
+	Events *EventLog
+
 	// MaxRevisions caps QA-guided regenerations per step (paper: 5).
 	// Zero takes the default; a negative value disables retries entirely
 	// (the static-pipeline baseline of §4.4.1).
@@ -103,6 +108,13 @@ type Runtime struct {
 func (rt *Runtime) logf(format string, args ...any) {
 	if rt.Logf != nil {
 		rt.Logf(format, args...)
+	}
+}
+
+// emit appends a lifecycle event when a log is attached.
+func (rt *Runtime) emit(ev Event) {
+	if rt.Events != nil {
+		rt.Events.Append(ev)
 	}
 }
 

@@ -83,20 +83,26 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		var eb struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return decodeAPIError(resp)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, preferring
+// the daemon's {"error": ...} body over raw text.
+func decodeAPIError(resp *http.Response) *APIError {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
 }
 
 func eidPath(eid string, parts ...string) string {
@@ -122,8 +128,16 @@ func (c *Client) Ensembles() ([]service.ShardInfo, error) {
 // Register adds an ensemble shard by name and directory (the daemon-side
 // path). Registering the same name+dir again is idempotent.
 func (c *Client) Register(name, dir string) (service.ShardInfo, error) {
+	return c.RegisterShard(service.RegisterRequest{Name: name, Dir: dir})
+}
+
+// RegisterShard adds an ensemble shard with the full request payload,
+// including per-shard worker/cache-capacity overrides of the daemon
+// defaults. Re-registering the same name+dir updates the overrides, which
+// apply at the shard's next spin-up.
+func (c *Client) RegisterShard(req service.RegisterRequest) (service.ShardInfo, error) {
 	var out service.ShardInfo
-	err := c.do(http.MethodPost, "/v1/ensembles", service.RegisterRequest{Name: name, Dir: dir}, &out)
+	err := c.do(http.MethodPost, "/v1/ensembles", req, &out)
 	return out, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"infera/internal/agent"
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/service"
@@ -124,5 +125,99 @@ func TestClientRoundTrip(t *testing.T) {
 	_, err = c.Register("survey-b", t.TempDir())
 	if !errors.As(err, &ae) || ae.Status != http.StatusConflict {
 		t.Fatalf("conflict err = %v", err)
+	}
+}
+
+// TestClientInteractiveStream is the streaming smoke: an interactive ask
+// driven end to end through the typed client — 202 handle, SSE event
+// stream, a plan revision, approval, and the stored result. This is the
+// same ReviewedAsk path the infera REPL runs.
+func TestClientInteractiveStream(t *testing.T) {
+	c, _ := startDaemon(t)
+
+	var (
+		rounds   int
+		kinds    []agent.EventKind
+		lastSeq  int
+		outOfSeq bool
+	)
+	res, err := c.ReviewedAsk("default", service.AskRequest{Question: topHalosQ},
+		func(ev agent.Event) agent.PlanDecision {
+			rounds++
+			if ev.Plan == nil || len(ev.Plan.Steps) == 0 {
+				t.Errorf("review called without a plan: %+v", ev)
+			}
+			if rounds == 1 {
+				if ev.Kind != agent.EventPlanProposed {
+					t.Errorf("round 1 kind = %v", ev.Kind)
+				}
+				return agent.PlanDecision{Approve: false, Comment: "also include halo mass"}
+			}
+			if ev.Kind != agent.EventPlanRevised {
+				t.Errorf("round %d kind = %v", rounds, ev.Kind)
+			}
+			return agent.PlanDecision{Approve: true}
+		},
+		func(ev agent.Event) {
+			kinds = append(kinds, ev.Kind)
+			if ev.Seq != lastSeq+1 {
+				outOfSeq = true
+			}
+			lastSeq = ev.Seq
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || res.Rows != 20 || res.Cached {
+		t.Fatalf("result = %+v", res)
+	}
+	if rounds != 2 {
+		t.Fatalf("review rounds = %d, want 2 (propose + revise)", rounds)
+	}
+	if outOfSeq {
+		t.Fatalf("stream delivered out-of-sequence events: %v", kinds)
+	}
+	if len(kinds) == 0 || kinds[len(kinds)-1] != agent.EventAnswer {
+		t.Fatalf("stream kinds = %v", kinds)
+	}
+
+	// Manual resume: replay the finished session's stream from an offset.
+	sessions, err := c.Sessions("default")
+	if err != nil || len(sessions) == 0 {
+		t.Fatalf("sessions = %v (%v)", sessions, err)
+	}
+	id := sessions[len(sessions)-1].ID
+	stream, err := c.StreamEvents("default", id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	first, err := stream.Next()
+	if err != nil || first.Seq != 3 {
+		t.Fatalf("resumed stream starts at %d (%v), want 3", first.Seq, err)
+	}
+	// And the long-poll fallback sees the same completed log.
+	events, after, done, err := c.PollEvents("default", id, 0, 0)
+	if err != nil || !done || len(events) != lastSeq || after != lastSeq {
+		t.Fatalf("poll = %d events after=%d done=%v (%v)", len(events), after, done, err)
+	}
+}
+
+// TestClientShardAdmin covers the admin wrappers: overrides, warm, delete.
+func TestClientShardAdmin(t *testing.T) {
+	c, _ := startDaemon(t)
+	info, err := c.RegisterShard(service.RegisterRequest{Name: "tuned", Dir: testEnsemble(t, 9), Workers: 1, CacheCapacity: 2})
+	if err != nil || info.Overrides == nil || info.Overrides.Workers != 1 {
+		t.Fatalf("register shard = %+v (%v)", info, err)
+	}
+	warmed, err := c.Warm("tuned")
+	if err != nil || warmed.State != "live" || warmed.Workers != 1 {
+		t.Fatalf("warm = %+v (%v)", warmed, err)
+	}
+	if err := c.Unregister("tuned", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ensemble("tuned"); !IsNotFound(err) {
+		t.Fatalf("deleted shard err = %v", err)
 	}
 }

@@ -209,6 +209,14 @@ type AskOptions struct {
 	// SessionID names the provenance session explicitly. Empty allocates
 	// the next sequential "session-NNN" ID.
 	SessionID string
+	// Feedback overrides the Assistant's feedback hook for this question
+	// only (e.g. a channel-backed approval gate for an interactive session).
+	// Nil keeps the configured hook.
+	Feedback agent.Feedback
+	// Events, when set, receives the run's typed lifecycle event stream
+	// (plan_proposed ... answer). The caller owns the log's lifetime; the
+	// workflow only appends.
+	Events *agent.EventLog
 }
 
 // Ask runs the full workflow for one question. The returned error is
@@ -257,6 +265,10 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 	if model == nil {
 		model = a.model
 	}
+	feedback := opts.Feedback
+	if feedback == nil {
+		feedback = a.cfg.Feedback
+	}
 	rt := &agent.Runtime{
 		Model:             model,
 		Catalog:           a.catalog,
@@ -265,7 +277,8 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 		Session:           sess,
 		Retriever:         a.retr,
 		Stage:             a.cfg.Stage,
-		Feedback:          a.cfg.Feedback,
+		Events:            opts.Events,
+		Feedback:          feedback,
 		MaxRevisions:      a.cfg.MaxRevisions,
 		TrimHistory:       a.cfg.TrimHistory,
 		SkipDocumentation: a.cfg.SkipDocumentation,

@@ -7,24 +7,32 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
+	"infera/internal/agent"
 	"infera/internal/sandbox"
 )
 
 // Server exposes a shard Registry over HTTP as a versioned resource API,
 // reusing the JSON wire idiom of the sandbox execution server:
 //
-//	GET  /v1/ensembles                                   -> []ShardInfo
-//	POST /v1/ensembles                                   {"name": ..., "dir": ...} -> ShardInfo (201)
-//	GET  /v1/ensembles/{eid}                             -> ShardInfo (live/cold, workers, cache, fingerprint age)
-//	POST /v1/ensembles/{eid}/ask                         {"question": ..., "seed": ...} -> AskResult
-//	GET  /v1/ensembles/{eid}/sessions                    -> []SessionInfo
-//	GET  /v1/ensembles/{eid}/sessions/{id}               -> SessionInfo
-//	GET  /v1/ensembles/{eid}/sessions/{id}/provenance    -> []provenance.Entry
-//	GET  /v1/ensembles/{eid}/metrics                     -> Metrics (one shard)
-//	GET  /v1/metrics                                     -> RegistryMetrics (aggregate)
-//	GET  /healthz                                        -> "ok"
+//	GET    /v1/ensembles                                 -> []ShardInfo
+//	POST   /v1/ensembles                                 {"name", "dir", "workers"?, "cache_capacity"?} -> ShardInfo (201)
+//	GET    /v1/ensembles/{eid}                           -> ShardInfo (live/cold, workers, cache, fingerprint age)
+//	DELETE /v1/ensembles/{eid}[?purge=provenance]        -> 204 (unregister; purge removes the on-disk trail)
+//	POST   /v1/ensembles/{eid}/warm                      -> ShardInfo (spin the pool + fingerprint up before a burst)
+//	POST   /v1/ensembles/{eid}/ask                       {"question", "seed"?} -> AskResult
+//	                                                     {..., "interactive": true} -> SessionInfo (202)
+//	GET    /v1/ensembles/{eid}/sessions                  -> []SessionInfo
+//	GET    /v1/ensembles/{eid}/sessions/{id}             -> SessionInfo
+//	GET    /v1/ensembles/{eid}/sessions/{id}/events      -> SSE stream (Last-Event-ID resume; ?after=N long-poll JSON)
+//	POST   /v1/ensembles/{eid}/sessions/{id}/plan        {"approve", "comment"?} -> 200 / 409 when nothing pending
+//	GET    /v1/ensembles/{eid}/sessions/{id}/result      -> AskResult (409 until the session finishes)
+//	GET    /v1/ensembles/{eid}/sessions/{id}/provenance  -> []provenance.Entry
+//	GET    /v1/ensembles/{eid}/metrics                   -> Metrics (one shard)
+//	GET    /v1/metrics                                   -> RegistryMetrics (aggregate)
+//	GET    /healthz                                      -> "ok"
 //
 // The pre-registry flat routes — POST /ask, GET /sessions[/{id}[/provenance]]
 // and GET /metrics — survive as deprecated aliases onto the registry's
@@ -43,9 +51,14 @@ func NewServer(reg *Registry) *Server {
 	mux.HandleFunc("GET /v1/ensembles", s.handleList)
 	mux.HandleFunc("POST /v1/ensembles", s.handleRegister)
 	mux.HandleFunc("GET /v1/ensembles/{eid}", s.handleDetail)
+	mux.HandleFunc("DELETE /v1/ensembles/{eid}", s.handleUnregister)
+	mux.HandleFunc("POST /v1/ensembles/{eid}/warm", s.handleWarm)
 	mux.HandleFunc("POST /v1/ensembles/{eid}/ask", s.handleAsk)
 	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions", s.handleSessions)
 	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/ensembles/{eid}/sessions/{id}/plan", s.handleSubmitPlan)
+	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/ensembles/{eid}/sessions/{id}/provenance", s.handleProvenance)
 	mux.HandleFunc("GET /v1/ensembles/{eid}/metrics", s.handleShardMetrics)
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -128,12 +141,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // by every eid-scoped handler.
 func writeRegistryError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrUnknownEnsemble):
+	case errors.Is(err, ErrUnknownEnsemble), errors.Is(err, ErrUnknownSession):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrShardCold):
 		// The resource exists but has no live session state; 404 on the
 		// sub-resource with the reason spelled out.
 		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotInteractive):
+		// The record exists but has no event log / approval gate.
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrNotFinished), errors.Is(err, agent.ErrNoPendingPlan):
+		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -152,10 +170,16 @@ func writeRegistryError(w http.ResponseWriter, err error) {
 // anything past 1 MB is abuse, not traffic.
 const maxAskBody = 1 << 20
 
-// RegisterRequest is the POST /v1/ensembles payload.
+// RegisterRequest is the POST /v1/ensembles payload. Workers and
+// CacheCapacity, when set, override the daemon-wide defaults for this shard
+// (applied at every spin-up).
 type RegisterRequest struct {
 	Name string `json:"name"`
 	Dir  string `json:"dir"`
+	// Workers overrides the shard's assistant-pool size (0 inherits).
+	Workers int `json:"workers,omitempty"`
+	// CacheCapacity overrides the shard's answer-cache capacity (0 inherits).
+	CacheCapacity int `json:"cache_capacity,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -168,7 +192,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
 		return
 	}
-	info, err := s.reg.Register(req.Name, req.Dir)
+	info, err := s.reg.RegisterWith(req.Name, req.Dir, ShardOptions{Workers: req.Workers, CacheSize: req.CacheCapacity})
 	switch {
 	case errors.Is(err, ErrEnsembleExists):
 		writeError(w, http.StatusConflict, err)
@@ -209,6 +233,20 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	if req.Interactive {
+		info, err := s.reg.AskInteractive(r.PathValue("eid"), req)
+		if err != nil {
+			writeRegistryError(w, err)
+			return
+		}
+		// 202: the job is accepted and running; follow the session's event
+		// stream and submit plan decisions while it does.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Location", fmt.Sprintf("/v1/ensembles/%s/sessions/%s", r.PathValue("eid"), info.ID))
+		w.WriteHeader(http.StatusAccepted)
+		sandbox.WriteJSON(w, info)
 		return
 	}
 	res, err := s.reg.Ask(r.PathValue("eid"), req)
@@ -263,4 +301,186 @@ func (s *Server) handleShardMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sandbox.WriteJSON(w, m)
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	purge := r.URL.Query().Get("purge") == "provenance"
+	if err := s.reg.Unregister(r.PathValue("eid"), purge); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Warm(r.PathValue("eid"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, info)
+}
+
+func (s *Server) handleSubmitPlan(w http.ResponseWriter, r *http.Request) {
+	var d agent.PlanDecision
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAskBody)).Decode(&d); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	if err := s.reg.SubmitPlan(r.PathValue("eid"), r.PathValue("id"), d); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, map[string]string{"status": "accepted"})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.reg.Result(r.PathValue("eid"), r.PathValue("id"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	sandbox.WriteJSON(w, res)
+}
+
+// EventsPage is the long-poll (?after=) wire form of an event-stream read.
+type EventsPage struct {
+	Events []agent.Event `json:"events"`
+	// After is the cursor to pass back on the next poll.
+	After int `json:"after"`
+	// Done marks a complete stream: the terminal answer event has been
+	// delivered and no more will arrive.
+	Done bool `json:"done"`
+}
+
+// maxPollWait caps the ?wait= long-poll window.
+const maxPollWait = 60 * time.Second
+
+// sseHeartbeat is how often an idle SSE stream emits a comment frame.
+const sseHeartbeat = 15 * time.Second
+
+// handleEvents streams a session's event log. Default is server-sent
+// events: one frame per event with id == Seq, resumable via the standard
+// Last-Event-ID header (or ?from=N), terminated by an "event: done"
+// sentinel once the stream completes. With ?after=N it degrades to a JSON
+// long-poll that waits up to ?wait= (default 25s) for events past N.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	eid, id := r.PathValue("eid"), r.PathValue("id")
+	if afterStr := r.URL.Query().Get("after"); afterStr != "" {
+		s.pollEvents(w, r, eid, id, afterStr)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	// An unparseable resume cursor must fail loudly: silently restarting
+	// from 0 would replay the whole stream and break the no-duplication
+	// contract for consumers that trust it.
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q", v))
+			return
+		}
+		after = n
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from cursor %q", v))
+			return
+		}
+		after = n
+	}
+	// Validate the session before committing to the stream content type, so
+	// a bad ID still gets a proper JSON error status.
+	if err := s.reg.CheckInteractive(eid, id); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		// Each wait is bounded by the heartbeat interval: an idle stream
+		// (e.g. a plan sitting in review) emits a comment frame every
+		// sseHeartbeat so intermediaries with idle timeouts keep the
+		// connection open and clients can tell alive from dead.
+		waitCtx, cancel := context.WithTimeout(ctx, sseHeartbeat)
+		events, done, err := s.reg.WaitEvents(waitCtx, eid, id, after)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+			continue
+		}
+		if err != nil {
+			// Client went away, or the shard closed under the stream; either
+			// way the stream is over. A resuming client reconnects with
+			// Last-Event-ID and picks up exactly where it left off.
+			return
+		}
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			after = ev.Seq
+		}
+		flusher.Flush()
+		if done {
+			fmt.Fprint(w, "event: done\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// pollEvents is the JSON long-poll fallback of handleEvents.
+func (s *Server) pollEvents(w http.ResponseWriter, r *http.Request, eid, id, afterStr string) {
+	after, err := strconv.Atoi(afterStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad after cursor %q", afterStr))
+		return
+	}
+	wait := 25 * time.Second
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", v))
+			return
+		}
+		wait = min(d, maxPollWait)
+	}
+	var (
+		events []agent.Event
+		done   bool
+	)
+	if wait <= 0 {
+		events, done, err = s.reg.Events(eid, id, after)
+	} else {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		events, done, err = s.reg.WaitEvents(ctx, eid, id, after)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		writeRegistryError(w, err)
+		return
+	}
+	page := EventsPage{Events: events, After: after, Done: done}
+	if page.Events == nil {
+		page.Events = []agent.Event{}
+	}
+	for _, ev := range events {
+		if ev.Seq > page.After {
+			page.After = ev.Seq
+		}
+	}
+	sandbox.WriteJSON(w, page)
 }

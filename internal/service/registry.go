@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"infera/internal/agent"
 	"infera/internal/hacc"
 	"infera/internal/provenance"
 	"infera/internal/stage"
@@ -73,6 +75,17 @@ var (
 	ErrShardCold       = errors.New("service: shard is cold (no live session state)")
 )
 
+// ShardOptions are per-shard overrides of the registry-wide defaults,
+// applied at every spin-up of the shard's Service.
+type ShardOptions struct {
+	// Workers overrides the assistant-pool size (0 keeps the default).
+	Workers int `json:"workers,omitempty"`
+	// CacheSize overrides the answer-cache capacity (0 keeps the default).
+	// The wire name matches RegisterRequest's cache_capacity so the echoed
+	// overrides object round-trips back into a register payload.
+	CacheSize int `json:"cache_capacity,omitempty"`
+}
+
 // shard is one registered ensemble. Fields below the comment are guarded by
 // Registry.mu; open/close work happens outside the lock, serialized by the
 // opening/closing channels (waiters block on them and retry).
@@ -80,6 +93,7 @@ type shard struct {
 	name    string
 	dir     string
 	workDir string
+	opts    ShardOptions
 
 	// guarded by Registry.mu:
 	svc        *Service
@@ -120,6 +134,11 @@ type ShardInfo struct {
 	// operators; cold shards report their close-time values).
 	Fingerprint    string        `json:"fingerprint,omitempty"`
 	FingerprintAge time.Duration `json:"fingerprint_age_ns,omitempty"`
+	// Overrides echoes the shard's per-shard worker/cache overrides, if any.
+	Overrides *ShardOptions `json:"overrides,omitempty"`
+	// PendingApprovals counts live interactive sessions blocked on a plan
+	// decision (0 when cold).
+	PendingApprovals int `json:"pending_approvals,omitempty"`
 }
 
 // ShardTotals are the per-shard counters that aggregate across the fleet.
@@ -129,6 +148,7 @@ type ShardTotals struct {
 	Failed      int64 `json:"failed_total"`
 	Rejected    int64 `json:"rejected_total"`
 	CachedTotal int64 `json:"cached_total"`
+	Interactive int64 `json:"interactive_total"`
 	Tokens      int64 `json:"tokens_total"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -140,6 +160,7 @@ func (t *ShardTotals) add(m Metrics) {
 	t.Failed += m.Failed
 	t.Rejected += m.Rejected
 	t.CachedTotal += m.CachedTotal
+	t.Interactive += m.Interactive
 	t.Tokens += m.Tokens
 	t.CacheHits += m.Cache.Hits
 	t.CacheMisses += m.Cache.Misses
@@ -198,14 +219,26 @@ func ValidEnsembleName(name string) bool {
 	return true
 }
 
-// Register adds a named ensemble shard without opening it (shards spin up
-// on first ask). The directory must hold a loadable ensemble catalog.
-// Registering the same name+dir again is idempotent; the same name with a
-// different dir fails with ErrEnsembleExists. The first registered shard
-// becomes the default target of the legacy (unversioned) HTTP routes.
+// Register adds a named ensemble shard with the registry-wide defaults.
+// See RegisterWith.
 func (r *Registry) Register(name, dir string) (ShardInfo, error) {
+	return r.RegisterWith(name, dir, ShardOptions{})
+}
+
+// RegisterWith adds a named ensemble shard without opening it (shards spin
+// up on first ask), with per-shard overrides of the registry defaults. The
+// directory must hold a loadable ensemble catalog. Registering the same
+// name+dir again is idempotent and updates the stored overrides — they
+// apply at the shard's next spin-up, not retroactively to a live pool; the
+// same name with a different dir fails with ErrEnsembleExists. The first
+// registered shard becomes the default target of the legacy (unversioned)
+// HTTP routes.
+func (r *Registry) RegisterWith(name, dir string, opts ShardOptions) (ShardInfo, error) {
 	if !ValidEnsembleName(name) {
 		return ShardInfo{}, ErrBadEnsembleName
+	}
+	if opts.Workers < 0 || opts.CacheSize < 0 {
+		return ShardInfo{}, fmt.Errorf("service: negative shard overrides: %+v", opts)
 	}
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -221,6 +254,12 @@ func (r *Registry) Register(name, dir string) (ShardInfo, error) {
 		if sh.dir != abs {
 			return ShardInfo{}, fmt.Errorf("%w: %q -> %s", ErrEnsembleExists, name, sh.dir)
 		}
+		// Only explicit overrides replace the stored ones: a plain
+		// re-Register (zero opts) must stay a true no-op, not silently wipe
+		// an operator's earlier tuning.
+		if opts != (ShardOptions{}) {
+			sh.opts = opts
+		}
 		return r.infoLocked(sh), nil
 	}
 	// Validate now so POST /v1/ensembles rejects junk immediately rather
@@ -232,7 +271,7 @@ func (r *Registry) Register(name, dir string) (ShardInfo, error) {
 	if err != nil {
 		return ShardInfo{}, err
 	}
-	sh := &shard{name: name, dir: abs, workDir: workDir, registered: time.Now()}
+	sh := &shard{name: name, dir: abs, workDir: workDir, opts: opts, registered: time.Now()}
 	// A cache persisted by a previous daemon run describes the cold shard
 	// until its first spin-up revalidates it.
 	if fi, ok := ReadCacheFileInfo(workDir); ok {
@@ -341,8 +380,13 @@ func (r *Registry) infoLocked(sh *shard) ShardInfo {
 		info.State = "live"
 		info.Workers = sh.svc.Workers()
 		info.CacheEntries = sh.svc.CacheLen()
+		info.PendingApprovals = sh.svc.PendingApprovals()
 	} else {
 		info.CacheEntries = sh.coldEntries
+	}
+	if sh.opts != (ShardOptions{}) {
+		o := sh.opts
+		info.Overrides = &o
 	}
 	info.Fingerprint = sh.lastFP
 	if !sh.lastFPAt.IsZero() {
@@ -432,6 +476,12 @@ func (r *Registry) openShard(sh *shard) (*Service, error) {
 	cfg := r.cfg.Defaults
 	cfg.EnsembleDir = sh.dir
 	cfg.WorkDir = sh.workDir
+	if sh.opts.Workers > 0 {
+		cfg.Workers = sh.opts.Workers
+	}
+	if sh.opts.CacheSize > 0 {
+		cfg.CacheSize = sh.opts.CacheSize
+	}
 	svc, err := New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("service: open shard %q: %w", sh.name, err)
@@ -528,6 +578,170 @@ func (r *Registry) Ask(name string, req AskRequest) (*AskResult, error) {
 	}
 	defer r.release(sh)
 	return svc.Ask(req)
+}
+
+// resultGrace keeps an interactive session's shard pinned briefly after
+// the worker finishes, so a client that drains the event stream and then
+// fetches GET .../result never finds the shard (and the stored result)
+// evicted in between.
+const resultGrace = 30 * time.Second
+
+// AskInteractive starts a streaming session on shard name, spinning the
+// shard up if cold, and returns its session record immediately. The shard
+// stays pinned (never idle-evicted) until the session's worker finishes
+// plus resultGrace — an interactive session's event log, approval gate and
+// stored result live in the shard's memory, so the pool must survive the
+// review and the client's result fetch.
+func (r *Registry) AskInteractive(name string, req AskRequest) (SessionInfo, error) {
+	sh, svc, err := r.acquire(name)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	info, done, err := svc.AskInteractive(req)
+	if err != nil {
+		r.release(sh)
+		return SessionInfo{}, err
+	}
+	go func() {
+		<-done
+		time.Sleep(resultGrace)
+		r.release(sh)
+	}()
+	return info, nil
+}
+
+// CheckInteractive verifies session id exists as a streaming session on a
+// live shard name, without copying any events — the cheap pre-stream
+// existence check.
+func (r *Registry) CheckInteractive(name, id string) error {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return err
+	}
+	defer r.release(sh)
+	_, err = svc.lookupInteractive(id)
+	return err
+}
+
+// Events returns shard name's session id events past after (see
+// Service.Events). A cold shard has no live event logs: ErrShardCold.
+func (r *Registry) Events(name, id string, after int) ([]agent.Event, bool, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return nil, false, err
+	}
+	defer r.release(sh)
+	return svc.Events(id, after)
+}
+
+// WaitEvents long-polls shard name's session id for events past after. The
+// shard stays pinned for the duration of the wait, so a watched session's
+// shard is never idle-evicted under it.
+func (r *Registry) WaitEvents(ctx context.Context, name, id string, after int) ([]agent.Event, bool, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return nil, false, err
+	}
+	defer r.release(sh)
+	return svc.WaitEvents(ctx, id, after)
+}
+
+// SubmitPlan delivers a plan decision to shard name's session id.
+func (r *Registry) SubmitPlan(name, id string, d agent.PlanDecision) error {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return err
+	}
+	defer r.release(sh)
+	return svc.SubmitPlan(id, d)
+}
+
+// Result returns the stored final result of shard name's interactive
+// session id (ErrNotFinished while the worker is still running).
+func (r *Registry) Result(name, id string) (*AskResult, error) {
+	sh, svc, err := r.pinLive(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(sh)
+	return svc.Result(id)
+}
+
+// Warm spins shard name up ahead of a burst: the assistant pool opens (or
+// is touched, if already live), the persisted answer cache revives, and
+// the ensemble fingerprint resolves — so the first real question pays none
+// of that latency. Returns the shard's post-warm state.
+func (r *Registry) Warm(name string) (ShardInfo, error) {
+	sh, _, err := r.acquire(name)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	defer r.release(sh)
+	// acquire resolves the fingerprint on a cold open; refresh covers the
+	// already-live case so Warm always returns a current value.
+	r.refreshFingerprint(sh)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.infoLocked(sh), nil
+}
+
+// Unregister removes shard name from the registry, draining and closing it
+// first if live (its answer cache persists as usual). With purge the
+// shard's on-disk trail — provenance sessions, staging state and the
+// persisted cache under its work directory — is removed too. Asks racing
+// an Unregister either drain before the close or fail with
+// ErrUnknownEnsemble after removal.
+func (r *Registry) Unregister(name string, purge bool) error {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrRegistryClosed
+		}
+		sh, ok := r.shards[name]
+		if !ok {
+			r.mu.Unlock()
+			return ErrUnknownEnsemble
+		}
+		if ch := sh.opening; ch != nil {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		if ch := sh.closing; ch != nil {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		if sh.svc != nil {
+			sh.closing = make(chan struct{})
+			r.mu.Unlock()
+			r.closeShard(sh, false)
+			continue // re-check: a racing ask may have reopened it
+		}
+		delete(r.shards, name)
+		if r.defaultName == name {
+			// Promote the lexicographically-first remaining shard so the
+			// legacy flat routes keep a target.
+			r.defaultName = ""
+			for n := range r.shards {
+				if r.defaultName == "" || n < r.defaultName {
+					r.defaultName = n
+				}
+			}
+		}
+		// Purge under the lock: a re-Register of the same name recreates the
+		// same work directory, and an async RemoveAll would race it and
+		// delete the new shard's state. The dir is small (provenance trails
+		// + cache.json) and unregister is a rare admin operation.
+		var purgeErr error
+		if purge {
+			purgeErr = os.RemoveAll(sh.workDir)
+		}
+		r.mu.Unlock()
+		r.logf("registry: unregistered ensemble %q (purge=%v)", name, purge)
+		return purgeErr
+	}
 }
 
 // pinLive pins shard name only if it is already live: the session and

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"infera/internal/agent"
 	"infera/internal/hacc"
 	"infera/internal/stage"
 )
@@ -303,6 +304,69 @@ func TestRegistryPersistenceAcrossRestart(t *testing.T) {
 	}
 	if entries, err := second.Provenance("default", hit.RequestID); err != nil || len(entries) == 0 {
 		t.Fatalf("provenance across restart: %v (%d entries)", err, len(entries))
+	}
+}
+
+// TestRegistryInteractivePinning: a shard with an interactive session in
+// flight stays pinned — sibling opens past the live budget must evict some
+// other shard, never the one whose event log and approval gate are live.
+func TestRegistryInteractivePinning(t *testing.T) {
+	reg, _ := testRegistry(t, 1, map[string]int64{"a": 3, "b": 11})
+
+	info, err := reg.AskInteractive("a", AskRequest{Question: topHalosQ, Interactive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the plan is actually awaiting review.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := reg.SubmitPlan("a", info.ID, agent.PlanDecision{Approve: false, Comment: "hold"}); err == nil {
+			break
+		} else if !errors.Is(err, agent.ErrNoPendingPlan) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("plan never became pending")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Push the fleet past the budget of 1: shard a must survive because its
+	// interactive session pins it.
+	if _, err := reg.Ask("b", AskRequest{Question: topHalosQ}); err != nil {
+		t.Fatal(err)
+	}
+	if i, err := reg.Ensemble("a"); err != nil || i.State != "live" {
+		t.Fatalf("pinned shard a = %+v (%v)", i, err)
+	}
+
+	// Approve the (revised) plan and drain the session.
+	for {
+		if err := reg.SubmitPlan("a", info.ID, agent.PlanDecision{Approve: true}); err == nil {
+			break
+		} else if !errors.Is(err, agent.ErrNoPendingPlan) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revised plan never became pending")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for {
+		res, err := reg.Result("a", info.ID)
+		if err == nil {
+			if res.Error != "" || res.Rows != 20 {
+				t.Fatalf("result = %+v", res)
+			}
+			break
+		}
+		if !errors.Is(err, ErrNotFinished) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interactive session never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -71,15 +71,26 @@ type Config struct {
 	// is kept either way), so sustained unique-question load doesn't grow
 	// disk without bound.
 	KeepStagingDBs bool
+	// ApprovalTimeout bounds how long an interactive session's plan review
+	// blocks its worker before auto-approving — the expiry for abandoned
+	// sessions whose client never comes back. 0 uses
+	// agent.DefaultAutoApprove; it applies per review round.
+	ApprovalTimeout time.Duration
+	// EventBuffer caps each interactive session's in-memory event log
+	// (oldest events drop past it). 0 uses agent.DefaultEventCapacity.
+	EventBuffer int
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
 }
 
-// Errors returned by Ask.
+// Errors returned by Ask and the interactive-session methods.
 var (
-	ErrQueueFull     = errors.New("service: request queue full")
-	ErrClosed        = errors.New("service: closed")
-	ErrEmptyQuestion = errors.New("service: empty question")
+	ErrQueueFull      = errors.New("service: request queue full")
+	ErrClosed         = errors.New("service: closed")
+	ErrEmptyQuestion  = errors.New("service: empty question")
+	ErrUnknownSession = errors.New("service: unknown session")
+	ErrNotInteractive = errors.New("service: session is not interactive")
+	ErrNotFinished    = errors.New("service: session not finished")
 )
 
 // ArtifactRef is the wire form of a provenance artifact pointer.
@@ -95,6 +106,13 @@ type AskRequest struct {
 	Question string `json:"question"`
 	// Seed selects the model stream; 0 uses the service default.
 	Seed int64 `json:"seed,omitempty"`
+	// Interactive runs the ask as a streaming session: the call returns a
+	// session handle immediately (HTTP: 202), lifecycle events stream from
+	// the session's event log, and the plan blocks for approval/revision
+	// until submitted or the approval deadline auto-approves. Interactive
+	// answers bypass the answer cache — a human may have reshaped the plan,
+	// so the result is not a pure function of (fingerprint, question, seed).
+	Interactive bool `json:"interactive,omitempty"`
 }
 
 // AskResult is the wire answer for one request.
@@ -125,10 +143,14 @@ type SessionInfo struct {
 	ID       string `json:"id"`
 	Question string `json:"question"`
 	Seed     int64  `json:"seed"`
-	// Status is "queued", "running", "done", "failed", "cached" or
-	// "rejected" (backpressure: the request never ran).
+	// Status is "queued", "running", "awaiting_approval" (interactive: plan
+	// proposed, review pending), "done", "failed", "cached" or "rejected"
+	// (backpressure: the request never ran).
 	Status string `json:"status"`
 	Worker int    `json:"worker"`
+	// Interactive marks a streaming session with an event log and plan
+	// approval gate.
+	Interactive bool `json:"interactive,omitempty"`
 	// SourceSession, for cached requests, names the session whose answer
 	// was served; its provenance trail answers /provenance for this record.
 	SourceSession string    `json:"source_session,omitempty"`
@@ -151,7 +173,11 @@ type Metrics struct {
 	Rejected    int64      `json:"rejected_total"`
 	CachedTotal int64      `json:"cached_total"`
 	Tokens      int64      `json:"tokens_total"`
-	Cache       CacheStats `json:"cache"`
+	// Interactive counts streaming sessions started; PendingApprovals is
+	// the gauge of sessions blocked on a plan decision right now.
+	Interactive      int64      `json:"interactive_total"`
+	PendingApprovals int        `json:"pending_approvals"`
+	Cache            CacheStats `json:"cache"`
 	// Stage reports the shared staging cache: decoded-block hits, misses,
 	// evicted bytes and residency.
 	Stage       stage.Stats `json:"stage"`
@@ -166,6 +192,9 @@ type task struct {
 	req  AskRequest
 	key  CacheKey
 	done chan *AskResult
+	// ia is the interactive-session state (event log + approval gate); nil
+	// for blocking asks.
+	ia *interactive
 }
 
 // Service is the concurrent multi-session query front-end over a pool of
@@ -187,6 +216,11 @@ type Service struct {
 	nextID   int
 	sessions map[string]*SessionInfo
 	order    []string
+	// interactive holds the event log, approval gate and final result of
+	// each streaming session, dropped when its record is trimmed.
+	interactive map[string]*interactive
+	// pendingApprovals gauges sessions blocked in plan review.
+	pendingApprovals int
 	// sessionWorker maps provenance session ID -> assistant index, so the
 	// provenance endpoint can find the right store.
 	sessionWorker map[string]int
@@ -234,6 +268,7 @@ func New(cfg Config) (*Service, error) {
 		sessions:      map[string]*SessionInfo{},
 		sessionWorker: map[string]int{},
 		inflight:      map[CacheKey]chan struct{}{},
+		interactive:   map[string]*interactive{},
 	}
 	// The catalog is read-only after load; one load serves the whole pool.
 	cat, err := hacc.Load(cfg.EnsembleDir)
@@ -315,6 +350,11 @@ func (s *Service) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Unblock plan reviews (current and queued) with immediate auto-approval
+	// so the drain below is never held back by a full approval deadline.
+	for _, ia := range s.interactive {
+		ia.feedback.Abort()
+	}
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
@@ -455,11 +495,14 @@ func (s *Service) newSessionRecord(req AskRequest, status string) *SessionInfo {
 	s.order = append(s.order, info.ID)
 	for len(s.order) > s.cfg.MaxSessions {
 		oldest := s.sessions[s.order[0]]
-		if oldest.Status == "queued" || oldest.Status == "running" {
+		if oldest.Status == "queued" || oldest.Status == "running" || oldest.Status == "awaiting_approval" {
 			break // never drop live requests; trim resumes once they finish
 		}
 		delete(s.sessions, oldest.ID)
 		delete(s.sessionWorker, oldest.ID)
+		// A trimmed interactive record releases its event log and stored
+		// result with it — the expiry path for long-abandoned streams.
+		delete(s.interactive, oldest.ID)
 		s.order = s.order[1:]
 	}
 	return info
@@ -497,17 +540,31 @@ func (s *Service) worker(idx int, a *core.Assistant) {
 
 		s.mu.Lock()
 		s.m.Running--
+		if t.ia != nil {
+			t.ia.result = res
+		}
 		s.mu.Unlock()
+		if t.ia != nil {
+			// Store-then-close ordering: a reader that drains the stream to
+			// its close is guaranteed to find the result.
+			t.ia.events.Close()
+			close(t.ia.done)
+		}
 		t.done <- res
 	}
 }
 
 func (s *Service) runTask(idx int, a *core.Assistant, t *task) *AskResult {
 	start := time.Now()
-	ans, runErr := a.AskWith(t.req.Question, core.AskOptions{
+	opts := core.AskOptions{
 		Model:     s.cfg.NewModel(t.req.Seed),
 		SessionID: t.info.ID,
-	})
+	}
+	if t.ia != nil {
+		opts.Feedback = t.ia.feedback
+		opts.Events = t.ia.events
+	}
+	ans, runErr := a.AskWith(t.req.Question, opts)
 	res := &AskResult{
 		RequestID: t.info.ID,
 		SessionID: t.info.ID,
@@ -543,6 +600,13 @@ func (s *Service) runTask(idx int, a *core.Assistant, t *task) *AskResult {
 		return res
 	}
 	s.finishRecord(t.info, "done", res.Tokens, "")
+	if t.ia != nil {
+		// Interactive answers are not cached: a reviewer may have reshaped
+		// the plan, so the result is not reproducible from the cache key.
+		s.logf("service: %s answered interactive %q on worker %d in %s (%d tokens)",
+			t.info.ID, t.req.Question, idx, res.Elapsed.Round(time.Millisecond), res.Tokens)
+		return res
+	}
 	// Cache only under a fingerprint that still matches the ensemble. The
 	// key was resolved (possibly from the TTL memo) at enqueue time, but
 	// the workflow staged whatever bytes were on disk during the run — if
@@ -663,6 +727,7 @@ func (s *Service) Metrics() Metrics {
 	fp, fpErr := s.fingerprint()
 	s.mu.Lock()
 	m := s.m
+	m.PendingApprovals = s.pendingApprovals
 	s.mu.Unlock()
 	m.Workers = len(s.assistants)
 	m.QueueDepth = cap(s.queue)
