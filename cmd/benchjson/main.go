@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can record each PR's benchmark metrics as an
+// artifact (BENCH_<n>.json) and the perf trajectory of the hot paths —
+// staging decode bytes, zero-copy ingestion allocations, cached-ask floor
+// — accumulates in a machine-readable form instead of scrolling away in
+// build logs.
+//
+// Usage:
+//
+//	go test -run NONE -bench 'Staging|ZeroCopy' -benchtime 1x . | benchjson > BENCH_5.json
+//
+// Each benchmark line becomes one object keyed by benchmark name (the
+// -cpu suffix stripped), holding ns/op plus every custom b.ReportMetric
+// unit verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	results := map[string]map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  [value unit ...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix go test appends (Benchmark...-8).
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Emit in first-seen order via an ordered wrapper.
+	out := make([]map[string]any, 0, len(order))
+	for _, name := range order {
+		out = append(out, map[string]any{"benchmark": name, "metrics": results[name]})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -52,28 +52,32 @@ func main() {
 		serve    = flag.Bool("serve", false, "run the concurrent query service instead of the REPL")
 		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address for -serve")
 		stageMB  = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB")
+		statTTL  = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup)")
+		keepDBs  = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
 	)
 	flag.Parse()
 	if *ensemble == "" {
 		log.Fatal("infera: -ensemble is required (generate one with haccgen)")
 	}
 	stage.Shared().SetBudget(*stageMB << 20)
+	stage.Shared().SetStatTTL(*statTTL)
 
 	if *serve {
-		runService(*ensemble, *work, *addr, *seed, *server)
+		runService(*ensemble, *work, *addr, *seed, *server, *keepDBs)
 		return
 	}
-	runREPL(*ensemble, *work, *seed, *auto, *server)
+	runREPL(*ensemble, *work, *seed, *auto, *server, *keepDBs)
 }
 
 // runREPL serves the registry on loopback and drives it through the typed
 // client — the same code path a remote interactive consumer runs.
-func runREPL(ensemble, work string, seed int64, auto, sandboxServer bool) {
+func runREPL(ensemble, work string, seed int64, auto, sandboxServer, keepDBs bool) {
 	reg := service.NewRegistry(service.RegistryConfig{
 		Defaults: service.Config{
-			Seed:      seed,
-			UseServer: sandboxServer,
-			Workers:   1, // one human, one session at a time
+			Seed:           seed,
+			UseServer:      sandboxServer,
+			KeepStagingDBs: keepDBs,
+			Workers:        1, // one human, one session at a time
 			// A terminal review waits on a human; keep the auto-approve
 			// expiry generous (abandoned remote sessions are the short case).
 			ApprovalTimeout: 10 * time.Minute,
@@ -217,11 +221,12 @@ func printResult(res *service.AskResult) {
 // one "default" shard in a registry, reachable both through the
 // /v1/ensembles API and the legacy flat routes. Further ensembles can be
 // registered at runtime with POST /v1/ensembles.
-func runService(ensemble, work, addr string, seed int64, sandboxServer bool) {
+func runService(ensemble, work, addr string, seed int64, sandboxServer, keepDBs bool) {
 	reg := service.NewRegistry(service.RegistryConfig{
 		Defaults: service.Config{
-			Seed:      seed,
-			UseServer: sandboxServer,
+			Seed:           seed,
+			UseServer:      sandboxServer,
+			KeepStagingDBs: keepDBs,
 		},
 		WorkDir: work,
 		Logf:    log.Printf,

@@ -13,6 +13,13 @@
 //	inferad -ensemble DIR [-ensemble name=DIR ...] [-addr 127.0.0.1:8080]
 //	        [-work DIR] [-max-live-shards 4] [-workers 4] [-queue 64]
 //	        [-cache 128] [-seed 1] [-trim] [-skipdoc] [-sandbox-server]
+//	        [-stage-budget MB] [-stage-stat-ttl 100ms]
+//	        [-provenance-max-age 0] [-provenance-max-bytes 0]
+//
+// Session artifact trails accumulate on disk per shard; the
+// -provenance-max-age / -provenance-max-bytes retention policy sweeps old
+// or over-budget trails whenever a shard closes (idle eviction, DELETE,
+// shutdown), sparing sessions the persisted answer cache still references.
 //
 // -ensemble repeats: a bare DIR names the shard "default"; name=DIR
 // registers further shards. The first flag becomes the default shard that
@@ -153,7 +160,11 @@ func main() {
 		approval  = flag.Duration("approval-timeout", 0, "interactive plan-review deadline before auto-approval (0 = 60s default)")
 		eventBuf  = flag.Int("event-buffer", 0, "per-session event-log capacity for interactive asks (0 = 512 default)")
 		stageMB   = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all shards)")
+		statTTL   = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup)")
 		fpTTL     = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
+		provAge   = flag.Duration("provenance-max-age", 0, "garbage-collect session artifact trails older than this at shard close (0 = keep all; cache-referenced sessions are spared)")
+		provBytes = flag.Int64("provenance-max-bytes", 0, "total on-disk session-trail budget enforced at shard close, in bytes (0 = unlimited)")
+		keepDBs   = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
 		verbose   = flag.Bool("v", false, "log per-request progress")
 	)
 	flag.Parse()
@@ -161,22 +172,27 @@ func main() {
 		log.Fatal("inferad: at least one -ensemble is required (generate one with haccgen)")
 	}
 	// The staging cache is process-wide (every shard's data loader and
-	// domain tools share it); the flag sizes that shared instance.
+	// domain tools share it); the flags size that shared instance and tune
+	// its per-block freshness-check memoization.
 	stage.Shared().SetBudget(*stageMB << 20)
+	stage.Shared().SetStatTTL(*statTTL)
 
 	cfg := service.RegistryConfig{
 		Defaults: service.Config{
-			Workers:           *workers,
-			QueueDepth:        *queue,
-			CacheSize:         *cacheSz,
-			MaxSessions:       *maxSess,
-			Seed:              *seed,
-			TrimHistory:       *trim,
-			SkipDocumentation: *skipdoc,
-			UseServer:         *sandboxS,
-			FingerprintTTL:    *fpTTL,
-			ApprovalTimeout:   *approval,
-			EventBuffer:       *eventBuf,
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			CacheSize:          *cacheSz,
+			MaxSessions:        *maxSess,
+			Seed:               *seed,
+			TrimHistory:        *trim,
+			SkipDocumentation:  *skipdoc,
+			UseServer:          *sandboxS,
+			FingerprintTTL:     *fpTTL,
+			ApprovalTimeout:    *approval,
+			EventBuffer:        *eventBuf,
+			ProvenanceMaxAge:   *provAge,
+			ProvenanceMaxBytes: *provBytes,
+			KeepStagingDBs:     *keepDBs,
 			NewModel: func(seed int64) llm.Client {
 				return llm.NewSim(llm.SimConfig{Seed: seed})
 			},

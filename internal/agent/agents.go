@@ -233,8 +233,10 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 
 		// Resolve every (sim, step) slice up front, then fan the decode out
 		// over the shared staging cache's worker pool: concurrent sessions
-		// staging overlapping slices share one decode per file, and a
-		// k-snapshot load runs in parallel instead of sequentially.
+		// staging overlapping slices share one decode per (file, column) —
+		// a session needing a superset of an already-staged selection pays
+		// only for its absent columns — and a k-snapshot load runs in
+		// parallel instead of sequentially.
 		type slice struct {
 			sim, step int
 			params    hacc.Params
@@ -278,7 +280,9 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 			}
 			frames[i] = res.Frame
 		}
-		// One bulk build writes the staged table once, not once per snapshot.
+		// One bulk build stages the table once, not once per snapshot — and
+		// into a staged DB it is zero-copy: the cached column vectors are
+		// appended by reference (copy-on-write guarded), not cell by cell.
 		if err := rt.DB.BulkAppend(table, frames...); err != nil {
 			return "", err
 		}
@@ -570,7 +574,10 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 	return nodeSupervisor, nil
 }
 
-// workTables builds the sandbox input set from the staged tables.
+// workTables builds the sandbox input set from the staged tables. The
+// frames are shells over the DB's resident shared vectors (zero-copy;
+// ReadTable's immutability contract), built once per code step rather
+// than per QA retry.
 func workTables(rt *Runtime, st *State) (map[string]*dataframe.Frame, error) {
 	out := map[string]*dataframe.Frame{}
 	for _, name := range []string{"work", "work_gal", "analysis"} {
@@ -603,6 +610,14 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 	in := st.Plan.Intent
 	task := currentTask(st)
 	stepStarted(rt, st, agentName)
+	// The sandbox input set is invariant across QA retries (the DB only
+	// changes after a step succeeds), so build it once per step instead of
+	// re-reading every table per attempt. The frames are shells over the
+	// DB's resident shared vectors, which scripts never mutate in place.
+	tables, err := workTables(rt, st)
+	if err != nil {
+		return "", err
+	}
 	priorError := ""
 	for attempt := 0; attempt <= rt.MaxRevisions; attempt++ {
 		req := llm.ScriptRequest{
@@ -627,10 +642,6 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 			if _, err := rt.Session.Record(agentName, "code", name, []byte(resp.Code)); err != nil {
 				return "", err
 			}
-		}
-		tables, err := workTables(rt, st)
-		if err != nil {
-			return "", err
 		}
 		res := rt.Sandbox.Exec(resp.Code, tables)
 		if !res.OK {

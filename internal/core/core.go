@@ -51,6 +51,13 @@ type Config struct {
 	// nil uses the process-wide stage.Shared() cache. Set an isolated cache
 	// in tests or benchmarks that assert on cache counters.
 	Stage *stage.Cache
+	// DurableStaging writes each question's staging database through to
+	// disk as it is built (sqldb.Create) instead of the default zero-copy
+	// in-memory staging (sqldb.CreateStaged, which never touches disk —
+	// the session DB is normally reclaimed right after the answer). Set it
+	// when the staging DBs themselves are the product to inspect post hoc;
+	// the serving layer wires it to its keep-staging-DBs switch.
+	DurableStaging bool
 	// MaxRevisions caps QA-guided retries per step (default 5).
 	MaxRevisions int
 	// Logf receives progress lines when set.
@@ -249,7 +256,14 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 		return nil, err
 	}
 	dbDir := filepath.Join(a.workDir, "db", sessionID)
-	db, err := sqldb.Create(dbDir)
+	// Staged by default: the session DB ingests cached snapshot frames by
+	// reference (no per-cell copy, no eager encode+write) and is usually
+	// reclaimed right after the answer, so it never has to touch disk.
+	create := sqldb.CreateStaged
+	if a.cfg.DurableStaging {
+		create = sqldb.Create
+	}
+	db, err := create(dbDir)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,60 @@
+package dataframe
+
+import "testing"
+
+// TestSharedAppendCopiesOnWrite: growing a frame whose columns are marked
+// shared must re-point at fresh vectors, leaving every alias — the other
+// Concat side, cache entries, resident tables — untouched.
+func TestSharedAppendCopiesOnWrite(t *testing.T) {
+	src := MustFromColumns(
+		NewInt("i", []int64{1, 2}),
+		NewString("s", []string{"a", "b"}),
+	)
+	alias, err := Concat(src) // zero-copy: shares and marks src's vectors
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias.MustColumn("i") != src.MustColumn("i") {
+		t.Fatal("single-frame Concat must share vectors, not copy")
+	}
+	if !src.MustColumn("i").IsShared() || !alias.MustColumn("i").IsShared() {
+		t.Fatal("both aliases must be marked shared")
+	}
+
+	more := MustFromColumns(
+		NewInt("i", []int64{3}),
+		NewString("s", []string{"c"}),
+	)
+	if err := alias.Append(more); err != nil {
+		t.Fatal(err)
+	}
+	if alias.NumRows() != 3 {
+		t.Fatalf("grown alias rows = %d, want 3", alias.NumRows())
+	}
+	if src.NumRows() != 2 || src.MustColumn("i").I[1] != 2 || src.MustColumn("s").S[1] != "b" {
+		t.Fatalf("COW violated: source mutated to %d rows: %v", src.NumRows(), src.MustColumn("i").I)
+	}
+	// The grown columns are fresh private vectors: a second append grows in
+	// place without further copying.
+	grown := alias.MustColumn("i")
+	if grown == src.MustColumn("i") {
+		t.Fatal("append must have re-pointed the grown column")
+	}
+	if grown.IsShared() {
+		t.Fatal("the private copy must not stay marked shared")
+	}
+
+	// Shallow shells share without marking — existing discipline (callers
+	// never mutate cells of shells) keeps them safe, and MarkShared opts
+	// into the COW contract explicitly.
+	shell := src.Shallow()
+	if shell.MustColumn("i") != src.MustColumn("i") {
+		t.Fatal("Shallow must share columns")
+	}
+	if err := shell.AddColumn(NewInt("extra", []int64{9, 9})); err != nil {
+		t.Fatal(err)
+	}
+	if src.Has("extra") {
+		t.Fatal("shells must be independent at the frame level")
+	}
+}

@@ -47,6 +47,13 @@ type Column struct {
 	F    []float64
 	I    []int64
 	S    []string
+	// shared marks the backing vector as aliased beyond this frame — by the
+	// staging cache, a resident sqldb table, or a zero-copy Concat. Shared
+	// vectors are immutable: in-place growth (Frame.Append) copies first
+	// (copy-on-write), so every alias keeps seeing the value it was handed.
+	// The flag must be set before the column is published to concurrent
+	// readers; it is copied along with the struct by shell-building verbs.
+	shared bool
 }
 
 // NewFloat returns a float column over vals (not copied).
@@ -63,6 +70,24 @@ func NewInt(name string, vals []int64) *Column {
 func NewString(name string, vals []string) *Column {
 	return &Column{Name: name, Kind: String, S: vals}
 }
+
+// MarkShared flags the column's backing vector as aliased by another
+// holder (cache entry, resident table, concatenated frame). Mutating verbs
+// copy-on-write instead of growing it in place. Returns c for chaining.
+//
+// The flag write is skipped when already set: a column published to many
+// goroutines (e.g. a staging-cache vector) is marked before publication,
+// so concurrent re-marks stay read-only and race-free. Only
+// single-goroutine-owned columns ever transition the flag.
+func (c *Column) MarkShared() *Column {
+	if !c.shared {
+		c.shared = true
+	}
+	return c
+}
+
+// IsShared reports whether the backing vector is marked shared.
+func (c *Column) IsShared() bool { return c.shared }
 
 // Len returns the number of elements in the column.
 func (c *Column) Len() int {
@@ -350,6 +375,27 @@ func (f *Frame) Clone() *Frame {
 	return out
 }
 
+// Shallow returns a fresh frame shell sharing every column of f. Callers
+// may add or drop columns on the shell without affecting f; the shared
+// column data itself must be treated as immutable (see MarkShared).
+func (f *Frame) Shallow() *Frame {
+	out := New()
+	for _, c := range f.cols {
+		_ = out.AddColumn(c)
+	}
+	return out
+}
+
+// MarkShared flags every column of f as shared (see Column.MarkShared) and
+// returns f — used when a frame is published as a long-lived alias, e.g. a
+// resident database table.
+func (f *Frame) MarkShared() *Frame {
+	for _, c := range f.cols {
+		c.MarkShared()
+	}
+	return f
+}
+
 // Gather returns a new frame containing the rows at idx, in order.
 func (f *Frame) Gather(idx []int) *Frame {
 	out := New()
@@ -479,7 +525,10 @@ func compareCell(c *Column, i, j int) int {
 }
 
 // Append concatenates other below f. Schemas (names, order, kinds) must
-// match exactly.
+// match exactly. Columns marked shared are not grown in place: the frame
+// re-points at a freshly copied vector (copy-on-write), so aliases holding
+// the shared vector — cache entries, resident tables, sibling shells —
+// keep seeing the pre-append data.
 func (f *Frame) Append(other *Frame) error {
 	if f.NumCols() != other.NumCols() {
 		return fmt.Errorf("dataframe: append schema mismatch: %d vs %d columns", f.NumCols(), other.NumCols())
@@ -493,6 +542,13 @@ func (f *Frame) Append(other *Frame) error {
 	}
 	for i, c := range f.cols {
 		oc := other.cols[i]
+		if c.shared {
+			// Copy-on-write: the Column object itself may be aliased by other
+			// frame shells, so the copy replaces this frame's pointer rather
+			// than mutating the shared object.
+			c = c.Clone()
+			f.cols[i] = c
+		}
 		switch c.Kind {
 		case Float:
 			c.F = append(c.F, oc.F...)
@@ -509,11 +565,28 @@ func (f *Frame) Append(other *Frame) error {
 // Schemas must match (same column names and kinds, same order). Unlike
 // chained Append calls, Concat allocates each destination vector exactly
 // once, so concatenating k frames costs one copy of the data instead of
-// O(k) re-copies — and it never aliases or mutates its inputs, which makes
-// it safe over frames sharing immutable cached column vectors.
+// O(k) re-copies.
+//
+// Concatenating a single frame is zero-copy: the result shares the input's
+// column vectors, and both sides are marked shared so any later in-place
+// growth copies first (copy-on-write). The multi-frame path never aliases
+// or mutates its inputs, which makes Concat safe over frames sharing
+// immutable cached column vectors.
 func Concat(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return New(), nil
+	}
+	if len(frames) == 1 {
+		// Zero-copy fast path: a fresh shell over the same vectors. Marking
+		// the columns shared makes growth on either alias copy-on-write.
+		out := New()
+		src := frames[0]
+		for i := 0; i < src.NumCols(); i++ {
+			if err := out.AddColumn(src.ColumnAt(i).MarkShared()); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	}
 	first := frames[0]
 	total := 0

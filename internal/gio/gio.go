@@ -125,6 +125,26 @@ func WriteFile(path string, f *dataframe.Frame, meta map[string]string) (err err
 	return nil
 }
 
+// EncodedSize returns the exact encoded block size of c under this
+// package's on-disk layout — 8 bytes per numeric element, uvarint length
+// prefix plus bytes per string — without encoding anything. Callers that
+// price tables by their gio footprint (e.g. sqldb's staged-table size and
+// scan accounting) use this so the layout knowledge lives in one place,
+// beside encodeColumn.
+func EncodedSize(c *dataframe.Column) int64 {
+	switch c.Kind {
+	case dataframe.Float, dataframe.Int:
+		return 8 * int64(c.Len())
+	default:
+		var tmp [binary.MaxVarintLen64]byte
+		var total int64
+		for _, s := range c.S {
+			total += int64(binary.PutUvarint(tmp[:], uint64(len(s)))) + int64(len(s))
+		}
+		return total
+	}
+}
+
 func encodeColumn(c *dataframe.Column) ([]byte, error) {
 	var buf bytes.Buffer
 	switch c.Kind {
@@ -240,27 +260,53 @@ func (r *Reader) Has(name string) bool {
 	return ok
 }
 
+// ColumnInfoOf returns the descriptor of the named column, reporting its
+// encoded block size (and offset/CRC) without touching the block — how a
+// caller prices a column read before performing it, e.g. the staging
+// benchmarks computing expected decode volumes from headers alone.
+func (r *Reader) ColumnInfoOf(name string) (ColumnInfo, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return ColumnInfo{}, false
+	}
+	return r.hdr.Columns[i], true
+}
+
+// ReadColumn seeks to, verifies and decodes exactly one column block,
+// returning the column and the encoded block bytes read. It is the
+// per-column partial-read primitive the staging cache builds on: a cache
+// that already holds some of a file's columns fetches only the absent ones,
+// never the whole file. Safe for concurrent use with other reads on the
+// same Reader.
+func (r *Reader) ReadColumn(name string) (*dataframe.Column, int64, error) {
+	i, ok := r.byName[name]
+	if !ok {
+		return nil, 0, &dataframe.ColumnError{Name: name, Available: r.ColumnNames()}
+	}
+	info := r.hdr.Columns[i]
+	blk := make([]byte, info.Size)
+	if _, err := r.f.ReadAt(blk, info.Offset); err != nil {
+		return nil, 0, fmt.Errorf("gio: read block %q: %w", name, err)
+	}
+	r.bytesRead.Add(info.Size)
+	if got := crc32.Checksum(blk, castagnoli); got != info.CRC {
+		return nil, 0, fmt.Errorf("gio: column %q: CRC mismatch (file corrupt): got %08x want %08x", name, got, info.CRC)
+	}
+	col, err := decodeColumn(info, blk, r.hdr.NumRows)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gio: decode %q: %w", name, err)
+	}
+	return col, info.Size, nil
+}
+
 // ReadColumns reads only the named columns into a frame, verifying each
 // block's CRC. Unrequested columns are not touched on disk.
 func (r *Reader) ReadColumns(names ...string) (*dataframe.Frame, error) {
 	out := dataframe.New()
 	for _, name := range names {
-		i, ok := r.byName[name]
-		if !ok {
-			return nil, &dataframe.ColumnError{Name: name, Available: r.ColumnNames()}
-		}
-		info := r.hdr.Columns[i]
-		blk := make([]byte, info.Size)
-		if _, err := r.f.ReadAt(blk, info.Offset); err != nil {
-			return nil, fmt.Errorf("gio: read block %q: %w", name, err)
-		}
-		r.bytesRead.Add(info.Size)
-		if got := crc32.Checksum(blk, castagnoli); got != info.CRC {
-			return nil, fmt.Errorf("gio: column %q: CRC mismatch (file corrupt): got %08x want %08x", name, got, info.CRC)
-		}
-		col, err := decodeColumn(info, blk, r.hdr.NumRows)
+		col, _, err := r.ReadColumn(name)
 		if err != nil {
-			return nil, fmt.Errorf("gio: decode %q: %w", name, err)
+			return nil, err
 		}
 		if err := out.AddColumn(col); err != nil {
 			return nil, err

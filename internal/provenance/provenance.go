@@ -12,11 +12,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"infera/internal/dataframe"
 )
@@ -113,6 +115,39 @@ func (s *Store) Sessions() ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// SessionStat reports a session trail's total on-disk footprint and its
+// most recent modification time — the inputs retention sweeps rank trails
+// by. The size counts every file under the session directory (artifacts,
+// manifest, checkpoints), not just manifest-recorded bytes.
+func (s *Store) SessionStat(id string) (bytes int64, newest time.Time, err error) {
+	root := filepath.Join(s.Root, id)
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		bytes += info.Size()
+		if info.ModTime().After(newest) {
+			newest = info.ModTime()
+		}
+		return nil
+	})
+	return bytes, newest, err
+}
+
+// RemoveSession deletes a session's directory and everything in it — the
+// retention sweep's disposal primitive. Removing a nonexistent session is
+// not an error.
+func (s *Store) RemoveSession(id string) error {
+	return os.RemoveAll(filepath.Join(s.Root, id))
 }
 
 // Dir returns the session directory.

@@ -71,6 +71,16 @@ type Config struct {
 	// is kept either way), so sustained unique-question load doesn't grow
 	// disk without bound.
 	KeepStagingDBs bool
+	// ProvenanceMaxAge, when positive, garbage-collects session artifact
+	// trails older than this at Close (shard close, daemon shutdown).
+	// Trails whose sessions are still referenced by the answer cache are
+	// spared — a revived shard must be able to resolve the provenance
+	// behind its persisted answers.
+	ProvenanceMaxAge time.Duration
+	// ProvenanceMaxBytes, when positive, bounds the total on-disk size of
+	// session trails at Close: oldest unreferenced trails are removed until
+	// the rest fit.
+	ProvenanceMaxBytes int64
 	// ApprovalTimeout bounds how long an interactive session's plan review
 	// blocks its worker before auto-approving — the expiry for abandoned
 	// sessions whose client never comes back. 0 uses
@@ -163,16 +173,16 @@ type SessionInfo struct {
 
 // Metrics is the /metrics snapshot.
 type Metrics struct {
-	Workers     int        `json:"workers"`
-	QueueDepth  int        `json:"queue_depth"`
-	QueueLen    int        `json:"queue_len"`
-	Queued      int64      `json:"queued_total"`
-	Running     int64      `json:"running"`
-	Completed   int64      `json:"completed_total"`
-	Failed      int64      `json:"failed_total"`
-	Rejected    int64      `json:"rejected_total"`
-	CachedTotal int64      `json:"cached_total"`
-	Tokens      int64      `json:"tokens_total"`
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueLen    int   `json:"queue_len"`
+	Queued      int64 `json:"queued_total"`
+	Running     int64 `json:"running"`
+	Completed   int64 `json:"completed_total"`
+	Failed      int64 `json:"failed_total"`
+	Rejected    int64 `json:"rejected_total"`
+	CachedTotal int64 `json:"cached_total"`
+	Tokens      int64 `json:"tokens_total"`
 	// Interactive counts streaming sessions started; PendingApprovals is
 	// the gauge of sessions blocked on a plan decision right now.
 	Interactive      int64      `json:"interactive_total"`
@@ -290,7 +300,11 @@ func New(cfg Config) (*Service, error) {
 			MaxRevisions:      cfg.MaxRevisions,
 			UseServer:         cfg.UseServer,
 			Stage:             cfg.Stage,
-			Logf:              cfg.Logf,
+			// Kept staging DBs must survive on disk, so only then does the
+			// session DB pay eager persistence; the default reclaim path
+			// stages zero-copy in memory.
+			DurableStaging: cfg.KeepStagingDBs,
+			Logf:           cfg.Logf,
 		})
 		if err != nil {
 			for _, prev := range s.assistants {
@@ -363,6 +377,11 @@ func (s *Service) Close() error {
 	// complete, including answers computed by the final drain.
 	if err := s.persistCache(); err != nil {
 		first = err
+	}
+	// Retention sweep after the persist: the snapshot just written defines
+	// exactly which sessions the revived cache can still reference.
+	if removed, freed := s.sweepProvenance(); removed > 0 {
+		s.logf("service: provenance sweep removed %d session trail(s), %d bytes", removed, freed)
 	}
 	for _, a := range s.assistants {
 		if err := a.Close(); err != nil && first == nil {

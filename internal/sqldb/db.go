@@ -24,30 +24,69 @@ type TableInfo struct {
 	Rows    int          `json:"rows"`
 	Columns []ColumnMeta `json:"columns"`
 	File    string       `json:"file"` // relative to the DB directory
-	Bytes   int64        `json:"bytes"`
+	// Bytes is the table's encoded size: the gio file size once persisted,
+	// or the estimated encoded block sum for staged tables that have not
+	// been flushed to disk yet.
+	Bytes int64 `json:"bytes"`
 }
 
-// DB is an on-disk analytical database: one gio column file per table plus
-// a JSON catalog. All operations are safe for concurrent use.
+// table is one resident table: staged frames are held as segments by
+// reference (zero-copy; their columns are marked shared), concatenated
+// into a single materialized frame on first read. dirty marks a staged
+// table not yet persisted to disk.
+type table struct {
+	info     TableInfo
+	segments []*dataframe.Frame
+	mat      *dataframe.Frame
+	dirty    bool
+}
+
+// DB is an analytical database: named column tables served from resident
+// in-memory frames, persisted as one gio column file per table plus a JSON
+// catalog. All operations are safe for concurrent use.
+//
+// Two persistence modes exist. A durable DB (Create/Open) writes every
+// table mutation through to disk immediately — the original behavior, for
+// databases that outlive the process. A staged DB (CreateStaged) is the
+// zero-copy fast path for per-session staging: BulkAppend stores frame
+// references instead of copying cells (O(columns) per frame, not
+// O(cells)), reads are served from the resident frames under the shared
+// immutability contract (see dataframe.Column.MarkShared), and nothing
+// touches disk until Flush — which a staging database that is reclaimed
+// after its session never pays.
 type DB struct {
 	mu        sync.Mutex
 	dir       string
-	tables    map[string]TableInfo
+	staged    bool
+	tables    map[string]*table
 	bytesRead int64
 }
 
 const dbCatalogName = "db.json"
 
-// Create initializes an empty database at dir (created if absent).
+// Create initializes an empty durable database at dir (created if
+// absent): every mutation persists immediately.
 func Create(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, tables: map[string]TableInfo{}}
+	db := &DB{dir: dir, tables: map[string]*table{}}
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
 	}
 	return db, nil
+}
+
+// CreateStaged initializes an empty staged database at dir: tables live as
+// resident shared-vector frames, ingestion is zero-copy, and disk is only
+// touched by an explicit Flush. The staging-path default — a per-session
+// staging DB that is deleted after the answer never pays encode or write
+// I/O at all.
+func CreateStaged(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, staged: true, tables: map[string]*table{}}, nil
 }
 
 // Open loads an existing database.
@@ -60,9 +99,9 @@ func Open(dir string) (*DB, error) {
 	if err := json.Unmarshal(data, &infos); err != nil {
 		return nil, fmt.Errorf("sqldb: catalog: %w", err)
 	}
-	db := &DB{dir: dir, tables: map[string]TableInfo{}}
+	db := &DB{dir: dir, tables: map[string]*table{}}
 	for _, ti := range infos {
-		db.tables[ti.Name] = ti
+		db.tables[ti.Name] = &table{info: ti}
 	}
 	return db, nil
 }
@@ -72,8 +111,8 @@ func (db *DB) Dir() string { return db.dir }
 
 func (db *DB) saveCatalog() error {
 	infos := make([]TableInfo, 0, len(db.tables))
-	for _, ti := range db.tables {
-		infos = append(infos, ti)
+	for _, t := range db.tables {
+		infos = append(infos, t.info)
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	data, err := json.MarshalIndent(infos, "", "  ")
@@ -96,99 +135,222 @@ func (db *DB) CreateTable(name string, f *dataframe.Frame) error {
 	if _, exists := db.tables[name]; exists {
 		return &CatalogError{Msg: fmt.Sprintf("table %q already exists", name)}
 	}
-	return db.writeTable(name, f)
+	return db.setTableLocked(name, f)
 }
 
 // CreateOrReplaceTable writes frame, replacing any existing table.
 func (db *DB) CreateOrReplaceTable(name string, f *dataframe.Frame) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.writeTable(name, f)
+	return db.setTableLocked(name, f)
 }
 
 // AppendTable appends frame to an existing table (schemas must match), or
 // creates the table if absent. For multi-frame loads prefer BulkAppend: a
-// k-frame accumulation via AppendTable re-reads and rewrites the whole
-// table per call (O(k²) data movement), while BulkAppend writes once.
+// k-frame accumulation via AppendTable re-validates per call, while
+// BulkAppend takes the whole batch at once.
 func (db *DB) AppendTable(name string, f *dataframe.Frame) error {
 	return db.BulkAppend(name, f)
 }
 
-// BulkAppend appends frames to name in a single staging build: the
-// existing table (if any) is read once, all frames are concatenated with
-// exact preallocation, and the table file is written exactly once — the
-// bulk path the data loader uses so a k-snapshot load writes each table
-// once instead of k times. Schemas must match; frames are not mutated.
+// BulkAppend appends frames to name, creating the table if absent. In a
+// staged DB this is zero-copy: each frame is retained as a table segment
+// by reference — O(columns) bookkeeping per frame, no cell is touched —
+// with its columns marked shared, so staging a cached snapshot costs
+// column pointers instead of a deep copy. The segments concatenate into
+// one contiguous frame lazily, on the table's first read. A durable DB
+// additionally persists the updated table before returning. Schemas must
+// match; frames are never mutated.
 func (db *DB) BulkAppend(name string, frames ...*dataframe.Frame) error {
 	if len(frames) == 0 {
 		return nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	// Merge the caller's frames first, so a schema mismatch among them is
-	// reported with the caller's frame indices; a mismatch against the
-	// stored table is attributed separately below.
-	add := frames[0]
-	if len(frames) > 1 {
-		merged, err := dataframe.Concat(frames...)
-		if err != nil {
-			return fmt.Errorf("sqldb: bulk append to %q: %w", name, err)
-		}
-		add = merged
-	}
-	ti, exists := db.tables[name]
+	t, exists := db.tables[name]
 	if !exists {
-		return db.writeTable(name, add)
+		// Validate the full batch against frame 0's schema (it trivially
+		// matches itself) so mismatch errors carry the caller's frame index.
+		if err := db.validateBatch(name, schemaOf(frames[0]), frames); err != nil {
+			return err
+		}
+		return db.setSegmentsLocked(name, frames)
 	}
-	r, err := gio.Open(filepath.Join(db.dir, ti.File))
-	if err != nil {
-		return err
+	if t.mat == nil && len(t.segments) == 0 {
+		// A table opened from disk: load it so the append extends it.
+		if err := db.loadLocked(t); err != nil {
+			return err
+		}
 	}
-	existing, err := r.ReadAll()
-	r.Close()
-	if err != nil {
-		return err
-	}
-	merged, err := dataframe.Concat(existing, add)
-	if err != nil {
+	if err := db.validateBatch(name, t.info.Columns, frames); err != nil {
 		return fmt.Errorf("sqldb: append to %q: schema mismatch with existing table: %w", name, err)
 	}
-	return db.writeTable(name, merged)
+	for _, f := range frames {
+		t.segments = append(t.segments, f.Shallow().MarkShared())
+		t.info.Rows += f.NumRows()
+		t.info.Bytes += estimatedBytes(f)
+	}
+	t.mat = nil
+	t.dirty = true
+	if !db.staged {
+		return db.persistLocked(t)
+	}
+	return nil
 }
 
-// writeTable persists f under name; caller holds the lock.
-func (db *DB) writeTable(name string, f *dataframe.Frame) error {
-	file := name + ".gio"
-	path := filepath.Join(db.dir, file)
-	if err := gio.WriteFile(path, f, map[string]string{"table": name}); err != nil {
-		return err
-	}
+// schemaOf extracts a frame's column metadata.
+func schemaOf(f *dataframe.Frame) []ColumnMeta {
 	cols := make([]ColumnMeta, f.NumCols())
 	for i := 0; i < f.NumCols(); i++ {
 		c := f.ColumnAt(i)
 		cols[i] = ColumnMeta{Name: c.Name, Kind: c.Kind}
 	}
-	var size int64
-	if st, err := os.Stat(path); err == nil {
-		size = st.Size()
+	return cols
+}
+
+// validateBatch checks every frame against the schema, attributing
+// mismatches by batch index.
+func (db *DB) validateBatch(name string, schema []ColumnMeta, frames []*dataframe.Frame) error {
+	for fi, f := range frames {
+		if f.NumCols() != len(schema) {
+			return fmt.Errorf("sqldb: bulk append to %q: frame %d has %d columns, want %d", name, fi, f.NumCols(), len(schema))
+		}
+		for i, cm := range schema {
+			c := f.ColumnAt(i)
+			if c.Name != cm.Name || c.Kind != cm.Kind {
+				return fmt.Errorf("sqldb: bulk append to %q: frame %d column %d: %s/%s vs %s/%s",
+					name, fi, i, c.Name, c.Kind, cm.Name, cm.Kind)
+			}
+		}
 	}
-	db.tables[name] = TableInfo{Name: name, Rows: f.NumRows(), Columns: cols, File: file, Bytes: size}
+	return nil
+}
+
+// setTableLocked stores f as the table's single segment, replacing any
+// previous content. Caller holds mu.
+func (db *DB) setTableLocked(name string, f *dataframe.Frame) error {
+	return db.setSegmentsLocked(name, []*dataframe.Frame{f})
+}
+
+// setSegmentsLocked (re)creates a table over the given segments by
+// reference. Caller holds mu.
+func (db *DB) setSegmentsLocked(name string, frames []*dataframe.Frame) error {
+	t := &table{info: TableInfo{Name: name, Columns: schemaOf(frames[0]), File: name + ".gio"}}
+	for _, f := range frames {
+		t.segments = append(t.segments, f.Shallow().MarkShared())
+		t.info.Rows += f.NumRows()
+		t.info.Bytes += estimatedBytes(f)
+	}
+	if len(t.segments) == 1 {
+		t.mat = t.segments[0]
+	}
+	t.dirty = true
+	db.tables[name] = t
+	if !db.staged {
+		return db.persistLocked(t)
+	}
+	return nil
+}
+
+// materializeLocked resolves the table's single contiguous frame,
+// concatenating staged segments (one copy, amortized over every later
+// read) or loading the gio file for tables opened from disk. Caller holds
+// mu.
+func (db *DB) materializeLocked(t *table) (*dataframe.Frame, error) {
+	if t.mat != nil {
+		return t.mat, nil
+	}
+	if len(t.segments) == 0 {
+		if err := db.loadLocked(t); err != nil {
+			return nil, err
+		}
+		return t.mat, nil
+	}
+	mat, err := dataframe.Concat(t.segments...)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: materialize %q: %w", t.info.Name, err)
+	}
+	mat.MarkShared()
+	t.mat = mat
+	// Collapse the segments so the pre-concat frames (and any cache vectors
+	// they alias) can be released.
+	t.segments = []*dataframe.Frame{mat}
+	return mat, nil
+}
+
+// loadLocked reads a persisted table into residency. The one-time load is
+// not charged to BytesScanned — reads account the columns they serve (see
+// ReadTable), which keeps the scan metric pruned to what queries
+// reference rather than inflated by the residency load. Caller holds mu.
+func (db *DB) loadLocked(t *table) error {
+	r, err := gio.Open(filepath.Join(db.dir, t.info.File))
+	if err != nil {
+		return err
+	}
+	f, rerr := r.ReadAll()
+	r.Close()
+	if rerr != nil {
+		return rerr
+	}
+	f.MarkShared()
+	t.mat = f
+	t.segments = []*dataframe.Frame{f}
+	return nil
+}
+
+// persistLocked writes the table's gio file and catalog entry. Caller
+// holds mu.
+func (db *DB) persistLocked(t *table) error {
+	f, err := db.materializeLocked(t)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(db.dir, t.info.File)
+	if err := gio.WriteFile(path, f, map[string]string{"table": t.info.Name}); err != nil {
+		return err
+	}
+	if st, err := os.Stat(path); err == nil {
+		t.info.Bytes = st.Size()
+	}
+	t.dirty = false
 	return db.saveCatalog()
 }
 
-// DropTable removes a table and its file.
+// Flush persists every staged-but-unwritten table (and the catalog) to
+// disk, after which Open(dir) sees the full database. A durable DB is
+// already persistent: Flush is a no-op.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		if !t.dirty {
+			continue
+		}
+		if err := db.persistLocked(t); err != nil {
+			return err
+		}
+	}
+	// Re-save unconditionally so drops since the last persist are reflected
+	// even when no table was dirty.
+	return db.saveCatalog()
+}
+
+// DropTable removes a table, its residency and its file.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ti, exists := db.tables[name]
+	t, exists := db.tables[name]
 	if !exists {
 		return &CatalogError{Msg: fmt.Sprintf("table %q not found", name)}
 	}
-	if err := os.Remove(filepath.Join(db.dir, ti.File)); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(filepath.Join(db.dir, t.info.File)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	delete(db.tables, name)
-	return db.saveCatalog()
+	if !db.staged {
+		return db.saveCatalog()
+	}
+	return nil
 }
 
 // Tables lists the catalog, sorted by name.
@@ -196,8 +358,8 @@ func (db *DB) Tables() []TableInfo {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	out := make([]TableInfo, 0, len(db.tables))
-	for _, ti := range db.tables {
-		out = append(out, ti)
+	for _, t := range db.tables {
+		out = append(out, t.info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -207,56 +369,73 @@ func (db *DB) Tables() []TableInfo {
 func (db *DB) Table(name string) (TableInfo, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ti, ok := db.tables[name]
-	return ti, ok
+	t, ok := db.tables[name]
+	if !ok {
+		return TableInfo{}, false
+	}
+	return t.info, true
 }
 
-// SizeBytes returns the total on-disk size of all table files — the
-// storage-overhead numerator in the paper's §4.1.3 metric.
+// SizeBytes returns the total encoded size of all tables — the
+// storage-overhead numerator in the paper's §4.1.3 metric. Persisted
+// tables report their file size; staged tables their estimated encoded
+// size (identical block payloads, minus the file header).
 func (db *DB) SizeBytes() int64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var total int64
-	for _, ti := range db.tables {
-		total += ti.Bytes
+	for _, t := range db.tables {
+		total += t.info.Bytes
 	}
 	return total
 }
 
-// BytesScanned reports cumulative data-block bytes read by queries.
+// BytesScanned reports cumulative data-block bytes served to reads and
+// queries, as encoded-size equivalents of the columns each read actually
+// selected. Column pruning keeps this proportional to what a query
+// references, resident or not; the one-time residency load of a
+// disk-opened table is not charged.
 func (db *DB) BytesScanned() int64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.bytesRead
 }
 
-// ReadTable loads selected columns of a table directly (no SQL); names
-// empty means all columns.
+// ReadTable returns selected columns of a table (no SQL); names empty
+// means all columns. The result is a fresh frame shell over the table's
+// resident shared vectors — no cell is copied, and callers must treat the
+// column data as immutable (growth via Append is copy-on-write). Tables
+// opened from disk are loaded into residency on first read, so repeated
+// reads — e.g. the sandbox work-table set rebuilt per analysis attempt —
+// decode the file once instead of every call.
 func (db *DB) ReadTable(name string, columns ...string) (*dataframe.Frame, error) {
 	db.mu.Lock()
-	ti, ok := db.tables[name]
-	db.mu.Unlock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
 	if !ok {
 		return nil, &CatalogError{Msg: fmt.Sprintf("table %q not found", name)}
 	}
-	r, err := gio.Open(filepath.Join(db.dir, ti.File))
+	mat, err := db.materializeLocked(t)
 	if err != nil {
 		return nil, err
 	}
-	defer func() {
-		db.mu.Lock()
-		db.bytesRead += r.BytesRead()
-		db.mu.Unlock()
-		r.Close()
-	}()
+	var out *dataframe.Frame
 	if len(columns) == 0 {
-		return r.ReadAll()
+		out = mat.Shallow()
+	} else {
+		out, err = mat.Select(columns...)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return r.ReadColumns(columns...)
+	for i := 0; i < out.NumCols(); i++ {
+		db.bytesRead += gio.EncodedSize(out.ColumnAt(i))
+	}
+	return out, nil
 }
 
-// Query parses and executes a SELECT, reading only the columns the
-// statement references.
+// Query parses and executes a SELECT, serving only the columns the
+// statement references from the resident table.
 func (db *DB) Query(sql string) (*dataframe.Frame, error) {
 	stmt, err := parseSelect(sql)
 	if err != nil {
@@ -289,4 +468,15 @@ func Explain(sql string) (table string, columns []string, err error) {
 	cols := stmt.referencedColumns()
 	sort.Strings(cols)
 	return stmt.table, cols, nil
+}
+
+// estimatedBytes prices a frame at its gio-encoded block size without
+// encoding anything (gio.EncodedSize per column). No allocation — the
+// zero-copy ingestion path stays O(columns) in allocations.
+func estimatedBytes(f *dataframe.Frame) int64 {
+	var total int64
+	for i := 0; i < f.NumCols(); i++ {
+		total += gio.EncodedSize(f.ColumnAt(i))
+	}
+	return total
 }

@@ -7,43 +7,61 @@
 // concurrent serving layer, N sessions touching overlapping slices would
 // each re-open, re-decode and re-append the same files from scratch, so
 // staging dominates every cache-miss request. This cache makes the decode
-// step shared: N concurrent sessions over overlapping ensembles cost
-// exactly one decode per distinct (file, column set).
+// step shared — and shared at the finest useful grain: N concurrent
+// sessions over overlapping ensembles cost exactly one decode per distinct
+// (file, column).
 //
 // # Keys and invalidation
 //
-// An entry is keyed by (absolute path, requested column set); its validity
-// is stamped with the file's (mtime, size) at decode time. Every lookup
-// stats the file and compares stamps, so rewriting or regenerating a file
-// invalidates its entries on the next access without any watcher — the
-// same stat-based freshness rule the service's ensemble fingerprint uses.
-// Column sets are canonicalized (sorted, deduplicated) before keying, so
-// request order never splits entries.
+// An entry is one column block, keyed by (absolute path, column name); its
+// validity is stamped with the file's (mtime, size) at decode time.
+// Per-column keying is what lets overlapping-but-unequal requests share:
+// a session asking for {tag, mass} and another asking for {mass, count}
+// decode mass once between them, where a column-set key would have decoded
+// the whole of both sets. Columns assembles the requested frame from
+// whichever columns are resident and decodes only the absent ones — one
+// partial read per absent column, never a whole-file read (gio.ReadColumn).
+//
+// Lookups validate entries against the file's current (mtime, size), so
+// rewriting or regenerating a file invalidates its columns on the next
+// access without any watcher — the same stat-based freshness rule the
+// service's ensemble fingerprint uses. The stat itself is memoized for a
+// short TTL (SetStatTTL, default DefaultStatTTL), so a hot path resolving
+// many columns of one file pays one syscall per TTL window instead of one
+// per block; like the fingerprint memo, the TTL bounds how long a changed
+// file can keep serving its previous generation.
 //
 // # Budget and eviction
 //
 // The cache holds at most BudgetBytes() of decoded blocks (measured as the
 // encoded block bytes read from disk, a close proxy for resident column
-// size). Insertion past the budget evicts least-recently-used entries; an
-// entry that alone exceeds the budget is served uncached without disturbing
+// size). Accounting and LRU eviction are per column: inserting past the
+// budget evicts least-recently-used column blocks, so one giant unused
+// column can be displaced while its siblings stay hot. A single column
+// that alone exceeds the budget is served uncached without disturbing
 // resident entries. EvictedBytes is surfaced on the service's /metrics
 // endpoint.
 //
 // # Sharing and immutability
 //
-// Cached column vectors are immutable. Columns returns a fresh Frame shell
-// per call that shares the cached vectors, so callers may add columns
-// (e.g. the loader's injected sim/step constants) but must never mutate
-// the returned column data in place. Frame verbs used downstream (Gather,
-// SortBy, Select, Concat) all allocate fresh vectors, so this holds
-// naturally; bulk table writes copy via dataframe.Concat.
+// Cached column vectors are immutable and marked shared
+// (dataframe.Column.MarkShared), so in-place growth anywhere downstream
+// copies first (copy-on-write). Columns returns a fresh Frame shell per
+// call that shares the cached vectors; callers may add columns (e.g. the
+// loader's injected sim/step constants) but must never mutate the returned
+// column data in place. Frame verbs used downstream (Gather, SortBy,
+// Select, Concat) all allocate fresh vectors or honor the shared mark, so
+// staged frames flow into sqldb.BulkAppend by reference.
 //
 // # Concurrency
 //
-// All methods are safe for concurrent use. Concurrent misses on one key
-// single-flight: the first request decodes, the rest wait and share the
-// result. LoadAll fans a request list out over a bounded worker pool, so a
-// k-snapshot load decodes in parallel instead of sequentially.
+// All methods are safe for concurrent use. Concurrent misses single-flight
+// per column: the first request to want an absent column decodes it, the
+// rest wait and share the result — two sessions requesting different
+// subsets of one file lead disjoint column flights and wait on each
+// other's overlap. LoadAll fans a request list out over a bounded worker
+// pool, so a k-snapshot load decodes in parallel instead of sequentially,
+// and a multi-column miss decodes its absent blocks concurrently.
 package stage
 
 import (
@@ -52,8 +70,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 
 	"infera/internal/dataframe"
 	"infera/internal/gio"
@@ -62,37 +80,59 @@ import (
 // DefaultBudgetBytes is the Shared cache's decoded-block budget.
 const DefaultBudgetBytes = 256 << 20
 
+// DefaultStatTTL is the freshness-check memoization window: lookups within
+// it reuse the file's last observed (mtime, size) instead of re-statting.
+// It bounds the staleness window after an in-place file rewrite, so it
+// stays deliberately short — the point is only to take the per-block
+// syscall off hot lookups, not to stop re-validating.
+const DefaultStatTTL = 100 * time.Millisecond
+
 // Stats is a point-in-time snapshot of the cache counters, surfaced on the
-// service's /metrics endpoint.
+// service's /metrics endpoint. Hit/miss accounting is per column block —
+// the cache's unit of residency — so one Columns call over k columns moves
+// the counters by k.
 type Stats struct {
-	// Hits counts lookups served from resident entries, including requests
-	// that waited on another request's in-flight decode (single-flight
-	// followers).
+	// Hits counts column lookups served from resident blocks, including
+	// requests that waited on another request's in-flight decode
+	// (single-flight followers).
 	Hits int64 `json:"hits"`
-	// Misses counts lookups that had to decode (single-flight leaders).
+	// Misses counts column blocks that had to decode (single-flight
+	// leaders).
 	Misses int64 `json:"misses"`
-	// Opens counts underlying gio file opens — exactly one per miss, the
-	// dedupe measure benchmarks assert on.
+	// PartialHits counts Columns calls that found some of their columns
+	// resident (or in flight) and decoded only the rest — the
+	// overlapping-column-set sharing that per-column keying buys.
+	PartialHits int64 `json:"partial_hits"`
+	// Opens counts underlying gio file opens — one per miss batch, however
+	// many absent columns it decodes.
 	Opens int64 `json:"opens"`
-	// Invalidations counts entries dropped because the backing file's
-	// mtime or size changed.
+	// BytesDecoded is the cumulative encoded block bytes read from disk by
+	// decodes — the I/O-volume measure benchmarks assert on.
+	BytesDecoded int64 `json:"bytes_decoded"`
+	// StatSaves counts freshness checks served from the stat memo instead
+	// of a syscall.
+	StatSaves int64 `json:"stat_saves"`
+	// Invalidations counts column blocks dropped because the backing
+	// file's mtime or size changed.
 	Invalidations int64 `json:"invalidations"`
-	// Evictions / EvictedBytes count entries pushed out by the byte budget.
+	// Evictions / EvictedBytes count blocks pushed out by the byte budget.
 	Evictions    int64 `json:"evictions"`
 	EvictedBytes int64 `json:"evicted_bytes"`
 	// UsedBytes / BudgetBytes describe the current residency.
 	UsedBytes   int64 `json:"used_bytes"`
 	BudgetBytes int64 `json:"budget_bytes"`
-	// Entries is the resident entry count.
+	// Entries is the resident column-block count; Files the distinct
+	// backing files they span.
 	Entries int `json:"entries"`
+	Files   int `json:"files"`
 }
 
-// key identifies one cached decode: a file path plus the canonical column
-// set. Freshness is checked against the entry's stamp, not the key, so a
-// regenerated file replaces its stale entry in place.
+// key identifies one cached column block. Freshness is checked against the
+// entry's stamp, not the key, so a regenerated file replaces its stale
+// blocks in place.
 type key struct {
 	path string
-	cols string
+	col  string
 }
 
 // stamp is the file identity an entry was decoded from.
@@ -104,8 +144,8 @@ type stamp struct {
 type entry struct {
 	key   key
 	stamp stamp
-	// cols holds the decoded immutable column vectors by name.
-	cols  map[string]*dataframe.Column
+	// col is the decoded immutable (shared-marked) column vector.
+	col   *dataframe.Column
 	bytes int64
 }
 
@@ -113,6 +153,12 @@ type flight struct {
 	done chan struct{}
 	e    *entry
 	err  error
+}
+
+// statEntry is one memoized freshness check.
+type statEntry struct {
+	st stamp
+	at time.Time
 }
 
 // Cache is the staging cache. Create with New or use the process-wide
@@ -123,15 +169,20 @@ type Cache struct {
 
 	mu       sync.Mutex
 	budget   int64
+	statTTL  time.Duration
 	ll       *list.List // front = most recently used
 	items    map[key]*list.Element
 	inflight map[key]*flight
-	stats    Stats
+	statMemo map[string]statEntry
+	// paths refcounts resident blocks per file for the Files gauge.
+	paths map[string]int
+	stats Stats
 }
 
-// New returns a cache holding at most budgetBytes of decoded blocks, with
-// loads fanned out over at most workers goroutines (0 picks a default of
-// min(8, GOMAXPROCS)).
+// New returns a cache holding at most budgetBytes of decoded column
+// blocks, with loads fanned out over at most workers goroutines (0 picks a
+// default of min(8, GOMAXPROCS)). Freshness checks are memoized for
+// DefaultStatTTL; adjust with SetStatTTL.
 func New(budgetBytes int64, workers int) *Cache {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -143,9 +194,12 @@ func New(budgetBytes int64, workers int) *Cache {
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
 		budget:   budgetBytes,
+		statTTL:  DefaultStatTTL,
 		ll:       list.New(),
 		items:    map[key]*list.Element{},
 		inflight: map[key]*flight{},
+		statMemo: map[string]statEntry{},
+		paths:    map[string]int{},
 	}
 }
 
@@ -171,6 +225,18 @@ func (c *Cache) SetBudget(budgetBytes int64) {
 	c.evictOverBudgetLocked()
 }
 
+// SetStatTTL adjusts the freshness-check memoization window. ttl <= 0
+// disables memoization entirely: every lookup stats the file, the
+// pre-memoization behavior tests of immediate invalidation rely on.
+func (c *Cache) SetStatTTL(ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.statTTL = ttl
+	if ttl <= 0 {
+		c.statMemo = map[string]statEntry{}
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
@@ -178,12 +244,13 @@ func (c *Cache) Stats() Stats {
 	st := c.stats
 	st.BudgetBytes = c.budget
 	st.Entries = c.ll.Len()
+	st.Files = len(c.paths)
 	return st
 }
 
-// canonicalCols sorts and deduplicates names into the key form plus the
-// decode list.
-func canonicalCols(names []string) (string, []string) {
+// canonicalCols deduplicates and sorts names into the decode-order list;
+// per-column keying makes request order irrelevant by construction.
+func canonicalCols(names []string) []string {
 	uniq := make([]string, 0, len(names))
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -193,112 +260,245 @@ func canonicalCols(names []string) (string, []string) {
 		}
 	}
 	sort.Strings(uniq)
-	return strings.Join(uniq, ","), uniq
+	return uniq
+}
+
+// statPath resolves the file's current identity, served from the TTL memo
+// when fresh enough. bypass forces a real stat (used on generation-mismatch
+// retries, where the memo is exactly what must not be trusted).
+func (c *Cache) statPath(path string, bypass bool) (stamp, error) {
+	c.mu.Lock()
+	if !bypass && c.statTTL > 0 {
+		if e, ok := c.statMemo[path]; ok && time.Since(e.at) < c.statTTL {
+			c.stats.StatSaves++
+			c.mu.Unlock()
+			return e.st, nil
+		}
+	}
+	c.mu.Unlock()
+	st, err := os.Stat(path)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.statMemo, path)
+		c.mu.Unlock()
+		return stamp{}, err
+	}
+	now := stamp{mtime: st.ModTime().UnixNano(), size: st.Size()}
+	c.mu.Lock()
+	if c.statTTL > 0 {
+		c.statMemo[path] = statEntry{st: now, at: time.Now()}
+	}
+	c.mu.Unlock()
+	return now, nil
 }
 
 // Columns returns the requested columns of the gio file at path as a fresh
-// frame shell over cached immutable vectors, decoding at most once per
-// (path, column set, file stamp). bytesRead is the data-block bytes this
-// call actually read from disk: the full block size on a decode, 0 when
-// served from cache — so callers' I/O accounting stays truthful under
-// sharing. The frame's column order follows the request.
+// frame shell over cached immutable vectors, decoding each absent column
+// at most once per file generation. bytesRead is the data-block bytes this
+// call actually read from disk: the block sizes of the columns it decoded,
+// 0 when fully served from cache — so callers' I/O accounting stays
+// truthful under sharing. The frame's column order follows the request.
 func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytesRead int64, err error) {
 	if len(names) == 0 {
 		return nil, 0, fmt.Errorf("stage: no columns requested for %s", path)
 	}
-	colKey, decodeCols := canonicalCols(names)
-	k := key{path: path, cols: colKey}
-
+	uniq := canonicalCols(names)
+	fresh := false
 	for {
-		// Stat inside the loop: a single-flight follower whose leader decoded
-		// a different file generation re-checks against the current identity.
-		st, err := os.Stat(path)
+		// A generation-mismatch retry bypasses the stat memo: the memoized
+		// stamp is the thing that just disagreed with reality.
+		now, err := c.statPath(path, fresh)
 		if err != nil {
-			return nil, 0, err
+			return nil, bytesRead, err
 		}
-		now := stamp{mtime: st.ModTime().UnixNano(), size: st.Size()}
+		resolved := make(map[string]*dataframe.Column, len(uniq))
+		var (
+			missing []string  // columns this call must decode (it leads their flights)
+			lead    []*flight // flights registered for missing, aligned by index
+			waits   []struct {
+				col string
+				fl  *flight
+			}
+		)
 		c.mu.Lock()
-		if el, ok := c.items[k]; ok {
-			e := el.Value.(*entry)
-			if e.stamp == now {
-				c.stats.Hits++
-				c.ll.MoveToFront(el)
-				c.mu.Unlock()
-				return assemble(e, names)
+		hits := 0
+		for _, name := range uniq {
+			k := key{path: path, col: name}
+			if el, ok := c.items[k]; ok {
+				e := el.Value.(*entry)
+				if e.stamp == now {
+					hits++
+					c.ll.MoveToFront(el)
+					resolved[name] = e.col
+					continue
+				}
+				// The backing file changed since this block was decoded.
+				c.removeLocked(el)
+				c.stats.Invalidations++
 			}
-			// The backing file changed since this entry was decoded.
-			c.removeLocked(el)
-			c.stats.Invalidations++
+			if fl := c.inflight[k]; fl != nil {
+				waits = append(waits, struct {
+					col string
+					fl  *flight
+				}{name, fl})
+				continue
+			}
+			fl := &flight{done: make(chan struct{})}
+			c.inflight[k] = fl
+			lead = append(lead, fl)
+			missing = append(missing, name)
 		}
-		if fl := c.inflight[k]; fl != nil {
+		c.stats.Hits += int64(hits)
+		if len(missing) > 0 {
+			c.stats.Misses += int64(len(missing))
+			c.stats.Opens++
+			if hits > 0 || len(waits) > 0 {
+				c.stats.PartialHits++
+			}
+		}
+		c.mu.Unlock()
+
+		var decoded []*entry
+		if len(missing) > 0 {
+			var errs []error
+			decoded, errs = c.decode(path, missing)
+			var firstErr error
+			c.mu.Lock()
+			for i, fl := range lead {
+				delete(c.inflight, key{path: path, col: missing[i]})
+				// Errors are attributed per column: a bad column name in this
+				// request must not poison a concurrent request waiting on a
+				// sibling column that decoded fine.
+				if errs[i] != nil {
+					fl.err = errs[i]
+					if firstErr == nil {
+						firstErr = errs[i]
+					}
+					continue
+				}
+				fl.e = decoded[i]
+				c.insertLocked(decoded[i])
+			}
 			c.mu.Unlock()
-			<-fl.done
-			// The leader may have decoded a different stamp (file replaced
-			// mid-flight) or failed; loop to re-check against the cache.
-			if fl.err != nil {
-				return nil, 0, fl.err
+			for _, fl := range lead {
+				close(fl.done)
 			}
-			if fl.e.stamp == now {
-				c.mu.Lock()
-				c.stats.Hits++
-				c.mu.Unlock()
-				return assemble(fl.e, names)
+			for i, e := range decoded {
+				if errs[i] != nil {
+					continue
+				}
+				resolved[missing[i]] = e.col
+				bytesRead += e.bytes
 			}
+			if firstErr != nil {
+				return nil, bytesRead, firstErr
+			}
+		}
+
+		stale := false
+		for _, w := range waits {
+			<-w.fl.done
+			// The leader may have decoded a different file generation (file
+			// replaced mid-flight) or failed.
+			if w.fl.err != nil {
+				return nil, bytesRead, w.fl.err
+			}
+			if w.fl.e.stamp != now {
+				stale = true
+				continue
+			}
+			resolved[w.col] = w.fl.e.col
+			c.mu.Lock()
+			c.stats.Hits++
+			c.mu.Unlock()
+		}
+		// A decode that observed a different identity than our freshness
+		// check means the file changed underfoot (or the memo was stale);
+		// re-validate everything against a real stat rather than assembling
+		// a torn frame from mixed generations.
+		if len(decoded) > 0 && decoded[0].stamp != now {
+			stale = true
+		}
+		if stale {
+			fresh = true
 			continue
 		}
-		fl := &flight{done: make(chan struct{})}
-		c.inflight[k] = fl
-		c.stats.Misses++
-		c.stats.Opens++
-		c.mu.Unlock()
-
-		fl.e, fl.err = decode(path, k, decodeCols)
-		c.mu.Lock()
-		delete(c.inflight, k)
-		if fl.err == nil {
-			c.insertLocked(fl.e)
-		}
-		c.mu.Unlock()
-		close(fl.done)
-		if fl.err != nil {
-			return nil, 0, fl.err
-		}
-		return assembleRead(fl.e, names)
+		return assemble(resolved, names, bytesRead)
 	}
 }
 
-// decode opens the file once and reads the canonical column set.
-func decode(path string, k key, cols []string) (*entry, error) {
-	// Stamp with the pre-open stat so a mid-decode rewrite yields a stale
-	// stamp and re-decodes on the next access rather than serving torn data.
+// decode opens the file once and reads the absent columns, fanning
+// multi-column misses out over per-column goroutines (gio readers support
+// concurrent positionless reads). Errors come back aligned per column —
+// one request's nonexistent column must not fail siblings that decoded
+// fine — with whole-file failures (stat, open) replicated to every
+// column. Entries are stamped with the pre-open stat so a mid-decode
+// rewrite yields a stale stamp and re-decodes on the next access rather
+// than serving torn data.
+func (c *Cache) decode(path string, cols []string) ([]*entry, []error) {
+	entries := make([]*entry, len(cols))
+	errs := make([]error, len(cols))
+	failAll := func(err error) ([]*entry, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return entries, errs
+	}
 	st, err := os.Stat(path)
 	if err != nil {
-		return nil, err
+		return failAll(err)
 	}
+	stp := stamp{mtime: st.ModTime().UnixNano(), size: st.Size()}
 	r, err := gio.Open(path)
 	if err != nil {
-		return nil, err
+		return failAll(err)
 	}
 	defer r.Close()
-	f, err := r.ReadColumns(cols...)
-	if err != nil {
-		return nil, err
+	read := func(i int) {
+		col, n, rerr := r.ReadColumn(cols[i])
+		if rerr != nil {
+			errs[i] = rerr
+			return
+		}
+		entries[i] = &entry{
+			key:   key{path: path, col: cols[i]},
+			stamp: stp,
+			col:   col.MarkShared(),
+			bytes: n,
+		}
 	}
-	e := &entry{
-		key:   k,
-		stamp: stamp{mtime: st.ModTime().UnixNano(), size: st.Size()},
-		cols:  map[string]*dataframe.Column{},
-		bytes: r.BytesRead(),
+	if len(cols) == 1 {
+		read(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := range cols {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				read(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	for i := 0; i < f.NumCols(); i++ {
-		col := f.ColumnAt(i)
-		e.cols[col.Name] = col
+	var total int64
+	for i := range cols {
+		if errs[i] == nil {
+			total += entries[i].bytes
+		}
 	}
-	return e, nil
+	c.mu.Lock()
+	c.stats.BytesDecoded += total
+	c.mu.Unlock()
+	// Deliberately no stat-memo refresh here: the caller's statPath already
+	// memoized the pre-decode identity, and re-stamping it at post-decode
+	// time could both clobber a newer generation another goroutine observed
+	// mid-decode and stretch the staleness window past the documented TTL.
+	return entries, errs
 }
 
-// assemble builds a fresh frame shell over e's vectors in requested order.
-func assemble(e *entry, names []string) (*dataframe.Frame, int64, error) {
+// assemble builds a fresh frame shell over the resolved vectors in
+// requested order.
+func assemble(resolved map[string]*dataframe.Column, names []string, bytesRead int64) (*dataframe.Frame, int64, error) {
 	out := dataframe.New()
 	added := map[string]bool{}
 	for _, n := range names {
@@ -306,23 +506,16 @@ func assemble(e *entry, names []string) (*dataframe.Frame, int64, error) {
 			continue
 		}
 		added[n] = true
-		col, ok := e.cols[n]
+		col, ok := resolved[n]
 		if !ok {
-			// Cannot happen for entries decoded from this key, but guard it.
-			return nil, 0, fmt.Errorf("stage: column %q missing from cached entry", n)
+			// Cannot happen once every column resolved, but guard it.
+			return nil, 0, fmt.Errorf("stage: column %q missing from resolved set", n)
 		}
 		if err := out.AddColumn(col); err != nil {
 			return nil, 0, err
 		}
 	}
-	return out, 0, nil
-}
-
-// assembleRead is assemble for the decoding request, which reports the
-// bytes it actually read.
-func assembleRead(e *entry, names []string) (*dataframe.Frame, int64, error) {
-	f, _, err := assemble(e, names)
-	return f, e.bytes, err
+	return out, bytesRead, nil
 }
 
 // insertLocked adds e (replacing any same-key entry) and enforces the
@@ -332,14 +525,15 @@ func (c *Cache) insertLocked(e *entry) {
 		c.removeLocked(el)
 	}
 	if e.bytes > c.budget {
-		// An entry that alone exceeds the budget would flush every other
-		// resident entry and still be evicted last; serve it uncached and
+		// A column that alone exceeds the budget would flush every other
+		// resident block and still be evicted last; serve it uncached and
 		// leave the rest of the cache intact.
 		c.stats.Evictions++
 		c.stats.EvictedBytes += e.bytes
 		return
 	}
 	c.items[e.key] = c.ll.PushFront(e)
+	c.paths[e.key.path]++
 	c.stats.UsedBytes += e.bytes
 	c.evictOverBudgetLocked()
 }
@@ -358,6 +552,9 @@ func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	c.ll.Remove(el)
 	delete(c.items, e.key)
+	if c.paths[e.key.path]--; c.paths[e.key.path] <= 0 {
+		delete(c.paths, e.key.path)
+	}
 	c.stats.UsedBytes -= e.bytes
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 // writeSnapshot writes a small gio file with deterministic int/float
-// columns and returns its path and per-column block size.
+// columns and returns its path.
 func writeSnapshot(t *testing.T, dir, name string, rows int, fill int64) string {
 	t.Helper()
 	ints := make([]int64, rows)
@@ -34,8 +34,28 @@ func writeSnapshot(t *testing.T, dir, name string, rows int, fill int64) string 
 	return path
 }
 
+// blockSizes reads the per-column encoded block sizes from a file header.
+func blockSizes(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	r, err := gio.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out := map[string]int64{}
+	for _, name := range r.ColumnNames() {
+		ci, ok := r.ColumnInfoOf(name)
+		if !ok {
+			t.Fatalf("column %q missing from header", name)
+		}
+		out[name] = ci.Size
+	}
+	return out
+}
+
 // TestSingleFlightDedupe stages overlapping slices from 8 concurrent
-// sessions and proves each file is opened and decoded exactly once.
+// sessions and proves each file is opened once and each column decoded
+// exactly once.
 func TestSingleFlightDedupe(t *testing.T) {
 	dir := t.TempDir()
 	const nfiles = 5
@@ -79,20 +99,115 @@ func TestSingleFlightDedupe(t *testing.T) {
 	}
 
 	st := c.Stats()
+	const cols = 2
 	if st.Opens != nfiles {
-		t.Fatalf("each file must decode exactly once: opens = %d, want %d", st.Opens, nfiles)
+		t.Fatalf("each file must open exactly once: opens = %d, want %d", st.Opens, nfiles)
 	}
-	if st.Misses != nfiles {
-		t.Fatalf("misses = %d, want %d", st.Misses, nfiles)
+	if st.Misses != nfiles*cols {
+		t.Fatalf("each column must decode exactly once: misses = %d, want %d", st.Misses, nfiles*cols)
 	}
-	if want := int64(sessions*nfiles) - nfiles; st.Hits != want {
+	if want := int64(sessions*nfiles*cols) - nfiles*cols; st.Hits != want {
 		t.Fatalf("hits = %d, want %d", st.Hits, want)
 	}
 }
 
-// TestColumnSetCanonicalization: order and duplicates must not split
-// entries, and the returned frame follows the requested order.
-func TestColumnSetCanonicalization(t *testing.T) {
+// TestPerColumnDecodeOnce is the overlapping-subset property the
+// per-column keying exists for: two concurrent sessions requesting
+// different column subsets of one file decode each *column* exactly once,
+// sharing the overlap. Run under -race.
+func TestPerColumnDecodeOnce(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 128, 0)
+	sizes := blockSizes(t, path)
+	c := New(1<<30, 4)
+
+	start := make(chan struct{})
+	subsets := [][]string{
+		{"fof_halo_tag", "fof_halo_mass"},
+		{"fof_halo_mass", "fof_halo_count"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(subsets))
+	for _, cols := range subsets {
+		wg.Add(1)
+		go func(cols []string) {
+			defer wg.Done()
+			<-start
+			f, _, err := c.Columns(path, cols...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if f.NumCols() != 2 || f.NumRows() != 128 {
+				errs <- fmt.Errorf("bad shape %dx%d for %v", f.NumRows(), f.NumCols(), cols)
+			}
+		}(cols)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	// 4 column lookups over 3 distinct columns: 3 decodes, 1 shared hit on
+	// the overlap (fof_halo_mass) regardless of which session led it.
+	if st.Misses != 3 {
+		t.Fatalf("each distinct column must decode exactly once: misses = %d, want 3 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("the overlapping column must be shared: hits = %d, want 1", st.Hits)
+	}
+	if want := sizes["fof_halo_tag"] + sizes["fof_halo_mass"] + sizes["fof_halo_count"]; st.BytesDecoded != want {
+		t.Fatalf("bytes decoded = %d, want %d (one block per distinct column)", st.BytesDecoded, want)
+	}
+	if st.Entries != 3 || st.Files != 1 {
+		t.Fatalf("residency = %d entries / %d files, want 3 / 1", st.Entries, st.Files)
+	}
+}
+
+// TestPartialHitDecodesOnlyMissing: a request overlapping a resident set
+// must decode only its absent columns, and report only those bytes read.
+func TestPartialHitDecodesOnlyMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 64, 7)
+	sizes := blockSizes(t, path)
+	c := New(1<<30, 2)
+
+	if _, n, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass"); err != nil || n == 0 {
+		t.Fatalf("seed decode: %v (%d bytes)", err, n)
+	}
+	f, n, err := c.Columns(path, "fof_halo_mass", "fof_halo_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sizes["fof_halo_count"]; n != want {
+		t.Fatalf("partial hit read %d bytes, want only the absent column's %d", n, want)
+	}
+	if f.Names()[0] != "fof_halo_mass" || f.NumCols() != 2 {
+		t.Fatalf("frame = %v", f.Names())
+	}
+	st := c.Stats()
+	if st.PartialHits != 1 {
+		t.Fatalf("partial hits = %d, want 1", st.PartialHits)
+	}
+	if st.Opens != 2 || st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("opens/misses/hits = %d/%d/%d, want 2/3/1", st.Opens, st.Misses, st.Hits)
+	}
+	// A fully resident request opens nothing and reports zero bytes.
+	if _, n, err := c.Columns(path, "fof_halo_tag", "fof_halo_count"); err != nil || n != 0 {
+		t.Fatalf("resident request: %v (%d bytes)", err, n)
+	}
+	if got := c.Stats().Opens; got != 2 {
+		t.Fatalf("resident request must not open: opens = %d", got)
+	}
+}
+
+// TestColumnOrderAndDuplicates: request order and duplicates must not
+// split entries, and the returned frame follows the requested order with
+// an independent shell per call.
+func TestColumnOrderAndDuplicates(t *testing.T) {
 	dir := t.TempDir()
 	path := writeSnapshot(t, dir, "s.gio", 16, 7)
 	c := New(1<<30, 2)
@@ -112,7 +227,7 @@ func TestColumnSetCanonicalization(t *testing.T) {
 		t.Fatalf("cache hit must report 0 bytes read, got %d", n2)
 	}
 	if got := c.Stats().Opens; got != 1 {
-		t.Fatalf("opens = %d, want 1 (same column set, different order)", got)
+		t.Fatalf("opens = %d, want 1 (same columns, different order)", got)
 	}
 	if f1.Names()[0] != "fof_halo_mass" || f2.Names()[0] != "fof_halo_tag" {
 		t.Fatalf("column order must follow the request: %v / %v", f1.Names(), f2.Names())
@@ -124,32 +239,28 @@ func TestColumnSetCanonicalization(t *testing.T) {
 	if f1.Has("sim") {
 		t.Fatal("frame shells must be independent per call")
 	}
+	// Cached vectors are marked shared, so downstream growth is COW.
+	if !f1.MustColumn("fof_halo_tag").IsShared() {
+		t.Fatal("cached columns must be marked shared")
+	}
 }
 
-// TestLRUEvictionAtBudget inserts three entries under a budget sized for
-// two and checks the least-recently-used one is evicted.
+// TestLRUEvictionAtBudget inserts three single-column blocks under a
+// budget sized for two and checks the least-recently-used one is evicted.
 func TestLRUEvictionAtBudget(t *testing.T) {
 	dir := t.TempDir()
 	a := writeSnapshot(t, dir, "a.gio", 64, 0)
 	b := writeSnapshot(t, dir, "b.gio", 64, 1)
 	d := writeSnapshot(t, dir, "c.gio", 64, 2)
+	blockBytes := blockSizes(t, a)["fof_halo_tag"]
 
-	c := New(1, 2) // probe entry size first
-	if _, n, err := c.Columns(a, "fof_halo_tag"); err != nil || n == 0 {
-		t.Fatalf("probe: %v %d", err, n)
-	}
-	entryBytes := c.Stats().EvictedBytes // budget 1 evicts the probe immediately
-	if entryBytes == 0 {
-		t.Fatal("probe entry was not measured")
-	}
-
-	c = New(2*entryBytes, 2)
+	c := New(2*blockBytes, 2)
 	for _, p := range []string{a, b} {
 		if _, _, err := c.Columns(p, "fof_halo_tag"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Touch a so b is LRU, then insert the third entry.
+	// Touch a so b is LRU, then insert the third block.
 	if _, _, err := c.Columns(a, "fof_halo_tag"); err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +268,11 @@ func TestLRUEvictionAtBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := c.Stats()
-	if st.Evictions != 1 || st.EvictedBytes != entryBytes {
-		t.Fatalf("evictions = %d (%d bytes), want 1 (%d bytes)", st.Evictions, st.EvictedBytes, entryBytes)
+	if st.Evictions != 1 || st.EvictedBytes != blockBytes {
+		t.Fatalf("evictions = %d (%d bytes), want 1 (%d bytes)", st.Evictions, st.EvictedBytes, blockBytes)
 	}
-	if st.UsedBytes > 2*entryBytes {
-		t.Fatalf("used %d exceeds budget %d", st.UsedBytes, 2*entryBytes)
+	if st.UsedBytes > 2*blockBytes {
+		t.Fatalf("used %d exceeds budget %d", st.UsedBytes, 2*blockBytes)
 	}
 	// a stayed resident (hit), b was evicted (re-decodes).
 	before := c.Stats().Opens
@@ -169,30 +280,61 @@ func TestLRUEvictionAtBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := c.Stats().Opens; got != before {
-		t.Fatal("recently-used entry must stay resident")
+		t.Fatal("recently-used block must stay resident")
 	}
 	if _, _, err := c.Columns(b, "fof_halo_tag"); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().Opens; got != before+1 {
-		t.Fatal("evicted entry must re-decode")
+		t.Fatal("evicted block must re-decode")
 	}
 }
 
-// TestOversizedEntryBypassesCache: an entry bigger than the whole budget
-// must not flush resident entries on its way through.
+// TestPerColumnEviction: eviction displaces individual columns, not whole
+// files — a file's cold column can leave while its hot sibling stays.
+func TestPerColumnEviction(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 64, 0)
+	sizes := blockSizes(t, path)
+	tagBytes := sizes["fof_halo_tag"]
+
+	// Budget fits exactly two blocks of this file.
+	c := New(2*tagBytes, 2)
+	if _, _, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch tag so mass is LRU, then pull in count: mass must go, tag stay.
+	if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Columns(path, "fof_halo_count"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Files != 1 {
+		t.Fatalf("per-column eviction: %+v", st)
+	}
+	before := st.Opens
+	if _, n, err := c.Columns(path, "fof_halo_tag", "fof_halo_count"); err != nil || n != 0 {
+		t.Fatalf("surviving columns must both be resident: %v (%d bytes)", err, n)
+	}
+	if c.Stats().Opens != before {
+		t.Fatal("surviving columns re-opened the file")
+	}
+	if _, n, err := c.Columns(path, "fof_halo_mass"); err != nil || n != sizes["fof_halo_mass"] {
+		t.Fatalf("evicted column must re-decode alone: %v (%d bytes)", err, n)
+	}
+}
+
+// TestOversizedEntryBypassesCache: a column bigger than the whole budget
+// must not flush resident blocks on its way through.
 func TestOversizedEntryBypassesCache(t *testing.T) {
 	dir := t.TempDir()
 	small := writeSnapshot(t, dir, "small.gio", 8, 0)
 	big := writeSnapshot(t, dir, "big.gio", 4096, 1)
+	smallBytes := blockSizes(t, small)["fof_halo_tag"]
 
-	c := New(1<<30, 2)
-	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
-		t.Fatal(err)
-	}
-	smallBytes := c.Stats().UsedBytes
-
-	c = New(smallBytes+16, 2) // fits the small entry, not the big one
+	c := New(smallBytes+16, 2) // fits the small block, not the big one
 	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
 		t.Fatal(err)
 	}
@@ -205,26 +347,29 @@ func TestOversizedEntryBypassesCache(t *testing.T) {
 	}
 	st := c.Stats()
 	if st.Entries != 1 || st.UsedBytes != smallBytes {
-		t.Fatalf("oversized entry must not disturb residents: %+v", st)
+		t.Fatalf("oversized blocks must not disturb residents: %+v", st)
 	}
-	// The small entry is still a hit.
+	// The small block is still a hit.
 	before := st.Opens
 	if _, _, err := c.Columns(small, "fof_halo_tag"); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats().Opens != before {
-		t.Fatal("resident entry was flushed by an oversized insert")
+		t.Fatal("resident block was flushed by an oversized insert")
 	}
 }
 
-// TestInvalidationOnFileChange rewrites a cached file and checks the stale
-// entry is dropped and fresh data is served.
+// TestInvalidationOnFileChange rewrites a cached file and checks every
+// stale column block is dropped and fresh data is served.
 func TestInvalidationOnFileChange(t *testing.T) {
 	dir := t.TempDir()
 	path := writeSnapshot(t, dir, "s.gio", 8, 100)
 	c := New(1<<30, 2)
+	// Immediate cross-generation visibility: disable the stat memo, which
+	// otherwise bounds (not breaks) invalidation latency by its TTL.
+	c.SetStatTTL(0)
 
-	f, _, err := c.Columns(path, "fof_halo_tag")
+	f, _, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +385,7 @@ func TestInvalidationOnFileChange(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f2, n, err := c.Columns(path, "fof_halo_tag")
+	f2, n, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,12 +396,45 @@ func TestInvalidationOnFileChange(t *testing.T) {
 		t.Fatalf("stale data served: %d", f2.MustColumn("fof_halo_tag").I[0])
 	}
 	st := c.Stats()
-	if st.Invalidations != 1 {
-		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	// Both of the file's resident columns were stamped by the old
+	// generation, so both invalidate.
+	if st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2 (one per stale column)", st.Invalidations)
 	}
 	// Same-size rewrite invalidates too (mtime alone distinguishes).
 	if st.Opens != 2 {
 		t.Fatalf("opens = %d, want 2", st.Opens)
+	}
+}
+
+// TestStatMemoSavesSyscalls: repeated lookups within the TTL serve their
+// freshness check from the memo.
+func TestStatMemoSavesSyscalls(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 8, 0)
+	c := New(1<<30, 2)
+	c.SetStatTTL(time.Hour) // never expires within the test
+
+	if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.StatSaves < 10 {
+		t.Fatalf("stat saves = %d, want >= 10 (hot lookups must skip the syscall)", st.StatSaves)
+	}
+	// Disabling the memo clears it: the next lookup stats for real.
+	c.SetStatTTL(0)
+	before := c.Stats().StatSaves
+	if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().StatSaves != before {
+		t.Fatal("disabled memo must not serve stat checks")
 	}
 }
 
@@ -269,18 +447,18 @@ func TestSetBudgetEvicts(t *testing.T) {
 	if _, _, err := c.Columns(path, "fof_halo_tag", "fof_halo_mass"); err != nil {
 		t.Fatal(err)
 	}
-	if c.Stats().Entries != 1 {
-		t.Fatal("entry not resident")
+	if c.Stats().Entries != 2 {
+		t.Fatal("blocks not resident")
 	}
 	c.SetBudget(0)
 	st := c.Stats()
-	if st.Entries != 0 || st.UsedBytes != 0 || st.Evictions != 1 {
-		t.Fatalf("shrinking budget must evict: %+v", st)
+	if st.Entries != 0 || st.UsedBytes != 0 || st.Evictions != 2 || st.Files != 0 {
+		t.Fatalf("shrinking budget must evict every block: %+v", st)
 	}
 }
 
 // TestErrorPropagation: missing columns and missing files fail without
-// caching the failure.
+// caching the failure, and without poisoning valid sibling columns.
 func TestErrorPropagation(t *testing.T) {
 	dir := t.TempDir()
 	path := writeSnapshot(t, dir, "s.gio", 8, 0)
@@ -288,15 +466,59 @@ func TestErrorPropagation(t *testing.T) {
 	if _, _, err := c.Columns(path, "no_such_column"); err == nil {
 		t.Fatal("want column error")
 	}
-	if _, _, err := c.Columns(filepath.Join(dir, "missing.gio"), "a"); err == nil {
-		t.Fatal("want stat error")
-	}
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("failed decodes must not cache: %+v", st)
 	}
-	// The file is still loadable after a failed column request.
-	if _, _, err := c.Columns(path, "fof_halo_tag"); err != nil {
-		t.Fatal(err)
+	if _, _, err := c.Columns(filepath.Join(dir, "missing.gio"), "a"); err == nil {
+		t.Fatal("want stat error")
+	}
+	// A mixed request fails as a whole, but its valid columns decode,
+	// cache, and serve later requests — errors attribute per column.
+	if _, _, err := c.Columns(path, "fof_halo_tag", "no_such_column"); err == nil {
+		t.Fatal("want column error on mixed request")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("the valid sibling column must cache: %+v", st)
+	}
+	before := c.Stats().Opens
+	if _, n, err := c.Columns(path, "fof_halo_tag"); err != nil || n != 0 {
+		t.Fatalf("valid sibling must be resident after a mixed failure: %v (%d bytes)", err, n)
+	}
+	if c.Stats().Opens != before {
+		t.Fatal("valid sibling re-decoded after a mixed failure")
+	}
+}
+
+// TestBadColumnDoesNotPoisonConcurrentRequest: a request including a
+// nonexistent column must not fail a concurrent single-flight follower
+// that only wants the valid overlap.
+func TestBadColumnDoesNotPoisonConcurrentRequest(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "s.gio", 64, 0)
+	for round := 0; round < 20; round++ {
+		c := New(1<<30, 4)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Mixed request: must fail, but only because of its own column.
+			if _, _, err := c.Columns(path, "fof_halo_tag", "no_such_column"); err == nil {
+				t.Error("mixed request must fail")
+			}
+		}()
+		var validErr error
+		go func() {
+			defer wg.Done()
+			<-start
+			_, _, validErr = c.Columns(path, "fof_halo_tag")
+		}()
+		close(start)
+		wg.Wait()
+		if validErr != nil {
+			t.Fatalf("round %d: valid request poisoned by sibling's bad column: %v", round, validErr)
+		}
 	}
 }
 

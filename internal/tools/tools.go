@@ -17,12 +17,15 @@ import (
 	"infera/internal/viz"
 )
 
-// Raw snapshot reads go through a staging cache, so a tool invocation and
-// a concurrent data-loader session touching the same (sim, step) slice
-// share one decode, and repeated tool calls (e.g. a tracked halo
-// re-examined across questions) are served from memory. Each tool takes
-// the cache explicitly (nil means the process-wide stage.Shared()), so a
-// pool configured with an isolated cache keeps tool decodes in it too.
+// Raw snapshot reads go through a staging cache keyed per (file, column),
+// so a tool invocation and a concurrent data-loader session touching the
+// same (sim, step) slice share decodes column by column — TrackHalo's
+// narrow (tag, metric) selection rides on the tag column a loader already
+// staged, paying only for the metric block — and repeated tool calls
+// (e.g. a tracked halo re-examined across questions) are served from
+// memory. Each tool takes the cache explicitly (nil means the
+// process-wide stage.Shared()), so a pool configured with an isolated
+// cache keeps tool decodes in it too.
 
 // stageOr resolves a possibly-nil cache to the process-wide default.
 func stageOr(sc *stage.Cache) *stage.Cache {
@@ -63,10 +66,27 @@ func TrackHalo(sc *stage.Cache, cat *hacc.Catalog, sim int, tag int64, metric st
 		mergeStep[v] = tree.MustColumn("merge_step").I[i]
 	}
 
+	// Resolve every step's snapshot up front and fan the (tag, metric)
+	// column loads out over the cache's worker pool; the merger-chain walk
+	// below only needs the results in step order, not sequential I/O.
+	var (
+		trackSteps []int
+		reqs       []stage.Request
+	)
+	for _, step := range cat.Steps() {
+		entry, ok := cat.Find(sim, step, hacc.FileHalos)
+		if !ok {
+			continue
+		}
+		trackSteps = append(trackSteps, step)
+		reqs = append(reqs, stage.Request{Path: cat.AbsPath(entry), Columns: []string{"fof_halo_tag", metric}})
+	}
+	results := sc.LoadAll(reqs)
+
 	var out []TrackResult
 	current := tag
 	merged := false
-	for _, step := range cat.Steps() {
+	for ri, step := range trackSteps {
 		// Follow merger chain: the current tag may itself merge before this
 		// step.
 		for {
@@ -78,14 +98,10 @@ func TrackHalo(sc *stage.Cache, cat *hacc.Catalog, sim int, tag int64, metric st
 			}
 			break
 		}
-		entry, ok := cat.Find(sim, step, hacc.FileHalos)
-		if !ok {
-			continue
+		if results[ri].Err != nil {
+			return nil, results[ri].Err
 		}
-		f, _, err := sc.Columns(cat.AbsPath(entry), "fof_halo_tag", metric)
-		if err != nil {
-			return nil, err
-		}
+		f := results[ri].Frame
 		tags := f.MustColumn("fof_halo_tag").I
 		vals := f.MustColumn(metric)
 		for i, t := range tags {
