@@ -1,0 +1,436 @@
+// Command loadgen drives a live inferad through a JSON experiment grid and
+// emits one `go test -bench`-format line per grid cell, so the existing
+// `| benchjson > BENCH_<n>.json` pipeline records serving-layer latency
+// (p50/p95/p99), throughput and error counts for every combination of
+// shard count, worker pool, answer-cache capacity and interactive mix —
+// the reproducible load experiment behind the BENCH trajectory.
+//
+// Modes:
+//
+//	loadgen -grid grid.json -addr host:port -ensemble DIR
+//	    run the grid against an already-running daemon, registering
+//	    per-cell shards from DIR over the API.
+//	loadgen -grid grid.json -spawn -ensemble DIR
+//	    start an in-process registry on 127.0.0.1:0 and run against it.
+//	loadgen -grid grid.json -spawn -gen
+//	    same, generating a small throwaway ensemble first — the
+//	    zero-setup CI smoke configuration.
+//	loadgen -validate BENCH.json
+//	    schema-check a benchjson document produced by a previous run:
+//	    every loadgen cell must carry p50/p95/p99 and throughput metrics.
+//
+// After the grid completes, loadgen scrapes /v1/metrics/prometheus and
+// fails unless at least -min-phases distinct ask phases have recorded
+// latency observations — the observability acceptance gate rides along
+// with every load test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"infera/internal/agent"
+	"infera/internal/client"
+	"infera/internal/hacc"
+	"infera/internal/llm"
+	"infera/internal/service"
+)
+
+// Grid is the experiment description. Axes are crossed; each resulting
+// cell runs Asks questions at client Concurrency, Repeats times.
+type Grid struct {
+	// Name prefixes every emitted benchmark line.
+	Name string `json:"name"`
+	// BaseSeed seeds the model streams; ask i in a cell uses BaseSeed so
+	// repeated questions exercise the answer cache.
+	BaseSeed int64 `json:"base_seed"`
+	// Questions are asked round-robin. Required.
+	Questions []string `json:"questions"`
+	// Asks per cell (default 4).
+	Asks int `json:"asks"`
+	// Concurrency is the number of client goroutines (default 2).
+	Concurrency int `json:"concurrency"`
+	// Repeats re-runs every cell (default 1); each repeat is its own line.
+	Repeats int `json:"repeats"`
+	Axes    Axes `json:"axes"`
+}
+
+// Axes are the crossed experiment dimensions. Empty axes collapse to a
+// single default point.
+type Axes struct {
+	// Shards is the number of ensemble shards load is spread over.
+	Shards []int `json:"shards"`
+	// Workers is the per-shard assistant-pool size override (0 inherits).
+	Workers []int `json:"workers"`
+	// Cache is the per-shard answer-cache capacity override (0 inherits).
+	Cache []int `json:"cache"`
+	// Interactive is the fraction of asks run as streaming sessions with
+	// an auto-approving reviewer (0..1).
+	Interactive []float64 `json:"interactive"`
+}
+
+type cell struct {
+	shards, workers, cache int
+	interactive            float64
+}
+
+func main() {
+	var (
+		gridPath  = flag.String("grid", "", "experiment grid JSON (see cmd/loadgen/README.md)")
+		addr      = flag.String("addr", "", "address of a running inferad (host:port)")
+		spawn     = flag.Bool("spawn", false, "start an in-process registry on 127.0.0.1:0 instead of -addr")
+		ensemble  = flag.String("ensemble", "", "ensemble directory shards are registered from")
+		gen       = flag.Bool("gen", false, "generate a small throwaway ensemble when -ensemble is empty")
+		validate  = flag.String("validate", "", "validate a benchjson BENCH_*.json document and exit")
+		minPhases = flag.Int("min-phases", 4, "fail unless this many ask phases show up in /v1/metrics/prometheus")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateBench(*validate); err != nil {
+			log.Fatalf("loadgen: validate %s: %v", *validate, err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %s is a valid bench document\n", *validate)
+		return
+	}
+	if *gridPath == "" {
+		log.Fatal("loadgen: -grid is required (or -validate FILE)")
+	}
+	grid, err := loadGrid(*gridPath)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	dir := *ensemble
+	if dir == "" {
+		if !*gen {
+			log.Fatal("loadgen: -ensemble is required (or -gen to generate one)")
+		}
+		tmp, err := os.MkdirTemp("", "loadgen-ensemble-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		spec := hacc.Spec{Runs: 2, Steps: []int{99, 498}, HalosPerRun: 80, ParticlesPerStep: 80, BoxSize: 128, Seed: 5}
+		if _, err := hacc.Generate(tmp, spec); err != nil {
+			log.Fatalf("loadgen: generate ensemble: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: generated ensemble in %s\n", tmp)
+		dir = tmp
+	}
+
+	base := *addr
+	if *spawn {
+		if base != "" {
+			log.Fatal("loadgen: -spawn and -addr are mutually exclusive")
+		}
+		reg := service.NewRegistry(service.RegistryConfig{
+			Defaults: service.Config{
+				Seed: grid.BaseSeed,
+				// Loadgen validates answers, so keep the simulated model on
+				// its deterministic low-error stream (the same configuration
+				// the service tests pin).
+				NewModel: func(seed int64) llm.Client {
+					return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+				},
+				ApprovalTimeout: 60 * time.Second,
+			},
+		})
+		srv := service.NewServer(reg)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			log.Fatalf("loadgen: start server: %v", err)
+		}
+		defer func() {
+			reg.Close()
+			srv.Close()
+		}()
+		base = srv.Addr()
+		fmt.Fprintf(os.Stderr, "loadgen: spawned inferad on %s\n", base)
+	}
+	if base == "" {
+		log.Fatal("loadgen: one of -addr or -spawn is required")
+	}
+
+	cli := client.New(base)
+	if err := cli.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("loadgen: daemon not ready: %v", err)
+	}
+
+	cells := grid.cells()
+	fmt.Fprintf(os.Stderr, "loadgen: grid %q: %d cells x %d repeats, %d asks/cell\n",
+		grid.Name, len(cells), grid.Repeats, grid.Asks)
+	for ci, c := range cells {
+		for rep := 0; rep < grid.Repeats; rep++ {
+			line, err := runCell(cli, dir, grid, c, ci, rep)
+			if err != nil {
+				log.Fatalf("loadgen: cell %d rep %d: %v", ci, rep, err)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	phases, err := askPhases(cli)
+	if err != nil {
+		log.Fatalf("loadgen: scrape prometheus: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: prometheus shows ask-phase histograms for %v\n", phases)
+	if len(phases) < *minPhases {
+		log.Fatalf("loadgen: only %d ask phases recorded (%v), want >= %d", len(phases), phases, *minPhases)
+	}
+}
+
+func loadGrid(path string) (Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, err
+	}
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return Grid{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if g.Name == "" {
+		g.Name = "grid"
+	}
+	if len(g.Questions) == 0 {
+		return Grid{}, fmt.Errorf("%s: questions is required", path)
+	}
+	if g.Asks <= 0 {
+		g.Asks = 4
+	}
+	if g.Concurrency <= 0 {
+		g.Concurrency = 2
+	}
+	if g.Repeats <= 0 {
+		g.Repeats = 1
+	}
+	if len(g.Axes.Shards) == 0 {
+		g.Axes.Shards = []int{1}
+	}
+	if len(g.Axes.Workers) == 0 {
+		g.Axes.Workers = []int{0}
+	}
+	if len(g.Axes.Cache) == 0 {
+		g.Axes.Cache = []int{0}
+	}
+	if len(g.Axes.Interactive) == 0 {
+		g.Axes.Interactive = []float64{0}
+	}
+	return g, nil
+}
+
+// cells crosses the axes in deterministic order.
+func (g Grid) cells() []cell {
+	var out []cell
+	for _, s := range g.Axes.Shards {
+		for _, w := range g.Axes.Workers {
+			for _, cc := range g.Axes.Cache {
+				for _, f := range g.Axes.Interactive {
+					out = append(out, cell{shards: s, workers: w, cache: cc, interactive: f})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runCell registers the cell's shards, fires the asks, and returns one
+// bench-format line. Shard names are cell-unique so repeated cells on a
+// long-lived daemon never collide; shards are unregistered afterwards.
+func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep int) (string, error) {
+	names := make([]string, c.shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("lg-%s-c%d-r%d-s%d", g.Name, ci, rep, i)
+		_, err := cli.RegisterShard(service.RegisterRequest{
+			Name: names[i], Dir: dir,
+			Workers: c.workers, CacheCapacity: c.cache,
+		})
+		if err != nil {
+			return "", fmt.Errorf("register %s: %w", names[i], err)
+		}
+	}
+	defer func() {
+		for _, n := range names {
+			if err := cli.Unregister(n, true); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: unregister %s: %v\n", n, err)
+			}
+		}
+	}()
+
+	nInteractive := int(math.Round(c.interactive * float64(g.Asks)))
+	latencies := make([]float64, g.Asks) // seconds; NaN marks a failed ask
+	var okAsks, errAsks, cached int
+	var mu sync.Mutex
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < g.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := service.AskRequest{
+					Question: g.Questions[i%len(g.Questions)],
+					Seed:     g.BaseSeed,
+				}
+				eid := names[i%len(names)]
+				askStart := time.Now()
+				var res *service.AskResult
+				var err error
+				if i < nInteractive {
+					req.Interactive = true
+					res, err = cli.ReviewedAsk(eid, req, func(agent.Event) agent.PlanDecision {
+						return agent.PlanDecision{Approve: true}
+					}, nil)
+				} else {
+					res, err = cli.Ask(eid, req)
+				}
+				elapsed := time.Since(askStart).Seconds()
+				mu.Lock()
+				switch {
+				case err != nil || res == nil:
+					latencies[i] = math.NaN()
+					errAsks++
+					fmt.Fprintf(os.Stderr, "loadgen: ask %d (%s): %v\n", i, eid, err)
+				case res.Error != "" || (res.Rows == 0 && res.Summary == ""):
+					// An empty answer is a failed experiment cell member even
+					// when the workflow "completed".
+					latencies[i] = math.NaN()
+					errAsks++
+					fmt.Fprintf(os.Stderr, "loadgen: ask %d (%s): invalid answer: error=%q rows=%d\n", i, eid, res.Error, res.Rows)
+				default:
+					latencies[i] = elapsed
+					okAsks++
+					if res.Cached {
+						cached++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < g.Asks; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok := make([]float64, 0, len(latencies))
+	var sum float64
+	for _, l := range latencies {
+		if !math.IsNaN(l) {
+			ok = append(ok, l)
+			sum += l
+		}
+	}
+	sort.Float64s(ok)
+	mean := 0.0
+	if len(ok) > 0 {
+		mean = sum / float64(len(ok))
+	}
+	name := fmt.Sprintf("BenchmarkLoadgen/%s/shards=%d/workers=%d/cache=%d/interactive=%g/rep=%d",
+		g.Name, c.shards, c.workers, c.cache, c.interactive, rep)
+	return fmt.Sprintf("%s %d %.0f ns/op %.6f p50-s %.6f p95-s %.6f p99-s %.3f asks/s %d ok-asks %d err-asks %d cached-asks",
+		name, g.Asks, mean*1e9,
+		percentile(ok, 0.50), percentile(ok, 0.95), percentile(ok, 0.99),
+		float64(okAsks)/wall.Seconds(), okAsks, errAsks, cached), nil
+}
+
+// percentile returns the pth quantile of sorted (nearest-rank); 0 when
+// empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+var phaseCountRe = regexp.MustCompile(`infera_ask_phase_seconds_count\{[^}]*phase="([a-z]+)"[^}]*\} ([1-9][0-9]*)`)
+
+// askPhases scrapes the Prometheus endpoint and returns the distinct ask
+// phases with at least one latency observation.
+func askPhases(cli *client.Client) ([]string, error) {
+	body, err := cli.PrometheusMetrics()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range phaseCountRe.FindAllStringSubmatch(body, -1) {
+		if !seen[m[1]] {
+			seen[m[1]] = true
+			out = append(out, m[1])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// validateBench checks the shape benchjson produces from loadgen output:
+// a non-empty array of {benchmark, metrics} objects where every loadgen
+// cell carries the latency percentiles and throughput.
+func validateBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc []struct {
+		Benchmark string             `json:"benchmark"`
+		Metrics   map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a benchjson document: %w", err)
+	}
+	if len(doc) == 0 {
+		return fmt.Errorf("empty benchmark list")
+	}
+	cells := 0
+	for _, b := range doc {
+		if b.Benchmark == "" {
+			return fmt.Errorf("entry with empty benchmark name")
+		}
+		if len(b.Metrics) == 0 {
+			return fmt.Errorf("%s: no metrics", b.Benchmark)
+		}
+		if !isLoadgenCell(b.Benchmark) {
+			continue
+		}
+		cells++
+		for _, key := range []string{"p50-s", "p95-s", "p99-s", "asks/s", "ns/op"} {
+			if _, found := b.Metrics[key]; !found {
+				return fmt.Errorf("%s: missing metric %q", b.Benchmark, key)
+			}
+		}
+		if b.Metrics["err-asks"] > 0 {
+			return fmt.Errorf("%s: %g asks failed validation", b.Benchmark, b.Metrics["err-asks"])
+		}
+		if b.Metrics["ok-asks"] <= 0 {
+			return fmt.Errorf("%s: no successful asks", b.Benchmark)
+		}
+	}
+	if cells == 0 {
+		return fmt.Errorf("no BenchmarkLoadgen cells in document")
+	}
+	return nil
+}
+
+func isLoadgenCell(name string) bool {
+	const prefix = "BenchmarkLoadgen/"
+	return len(name) > len(prefix) && name[:len(prefix)] == prefix
+}

@@ -40,6 +40,7 @@ func Run(rt *Runtime, question string) (*Result, error) {
 	start := time.Now()
 	err := g.Run(rt, st)
 	res := &Result{State: *st, Duration: time.Since(start)}
+	rt.spans.add(PhaseTotal, res.Duration)
 	if rt.Session != nil {
 		res.Artifacts = rt.Session.Manifest()
 		for _, e := range res.Artifacts {
@@ -61,7 +62,9 @@ func Run(rt *Runtime, question string) (*Result, error) {
 		Failed:     st.Failed || err != nil,
 		Error:      st.FailReason,
 		DurationNS: res.Duration.Nanoseconds(),
+		PhasesNS:   rt.spans.snapshot(),
 	}
+	rt.spans.observe(rt.Metrics, rt.MetricLabels)
 	if err != nil {
 		ans.Error = err.Error()
 	}
@@ -109,16 +112,21 @@ func plannerNode(rt *Runtime, st *State) (string, error) {
 			req.Context = rt.Catalog.Describe()
 		}
 		var plan llm.Plan
+		// The plan phase counts model time only: the ReviewPlan wait below
+		// is human (or approval-deadline) latency and would drown the
+		// planner's own latency signal if folded in.
+		roundStart := time.Now()
 		if err := callModel(rt, st, "planner", llm.SkillPlan, "You are the planning agent. Decompose the question into executable steps.", req, &plan); err != nil {
 			return "", err
 		}
+		roundElapsed := rt.span(PhasePlan, roundStart)
 		st.Plan = plan
 		st.PlanRounds = round + 1
 		kind := EventPlanProposed
 		if round > 0 {
 			kind = EventPlanRevised
 		}
-		rt.emit(Event{Kind: kind, Round: round, Plan: &plan})
+		rt.emit(Event{Kind: kind, Round: round, Plan: &plan, ElapsedNS: roundElapsed.Nanoseconds()})
 		if rt.Feedback == nil {
 			break
 		}
@@ -171,21 +179,26 @@ func supervisorNode(rt *Runtime, st *State) (string, error) {
 	}
 }
 
-// stepStarted announces a worker agent picking up the current plan step.
-func stepStarted(rt *Runtime, st *State, agentName string) {
+// stepStarted announces a worker agent picking up the current plan step
+// and returns the step's start instant for the finish event's ElapsedNS.
+func stepStarted(rt *Runtime, st *State, agentName string) time.Time {
 	rt.emit(Event{Kind: EventStepStarted, Agent: agentName, Task: currentTask(st), Step: st.StepIdx})
+	return time.Now()
 }
 
-// stepDone marks the current plan step complete.
-func stepDone(rt *Runtime, st *State, agentName, note string) {
-	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx, OK: true, Detail: note})
+// stepDone marks the current plan step complete, stamping the wall-clock
+// duration since stepStarted onto the finish event.
+func stepDone(rt *Runtime, st *State, agentName, note string, started time.Time) {
+	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx,
+		OK: true, Detail: note, ElapsedNS: time.Since(started).Nanoseconds()})
 	st.Completed = append(st.Completed, note)
 	st.StepIdx++
 }
 
 // stepFailed aborts the run at the current step.
-func stepFailed(rt *Runtime, st *State, agentName, reason string) {
-	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx, OK: false, Detail: reason})
+func stepFailed(rt *Runtime, st *State, agentName, reason string, started time.Time) {
+	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx,
+		OK: false, Detail: reason, ElapsedNS: time.Since(started).Nanoseconds()})
 	st.Failed = true
 	st.FailReason = reason
 	st.Failures = append(st.Failures, reason)
@@ -198,7 +211,7 @@ func stepFailed(rt *Runtime, st *State, agentName, reason string) {
 func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
-	stepStarted(rt, st, "dataloader")
+	started := stepStarted(rt, st, "dataloader")
 
 	// RAG retrieval provides the metadata context; record it so the
 	// provenance trail shows why these columns were chosen.
@@ -297,7 +310,8 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 		}
 	}
 	rt.logf("loaded: %s", strings.TrimSpace(report.String()))
-	stepDone(rt, st, "dataloader", "data loading: "+task)
+	rt.span(PhaseStage, started)
+	stepDone(rt, st, "dataloader", "data loading: "+task, started)
 	return nodeSupervisor, nil
 }
 
@@ -466,13 +480,16 @@ func columnNames(ti sqldb.TableInfo) []string {
 // the feedback text.
 func qaAssess(rt *Runtime, st *State, agentName, task, preview, errMsg string) (bool, string, error) {
 	var resp llm.QAResponse
+	qaStart := time.Now()
 	err := callModel(rt, st, "qa", llm.SkillQA,
 		"You are the quality assurance agent. Score the output 1-100 for whether it satisfactorily completes the delegated task.",
 		llm.QARequest{Task: task, Preview: preview, Error: errMsg}, &resp)
 	if err != nil {
 		return false, "", err
 	}
-	rt.emit(Event{Kind: EventQAVerdict, Agent: agentName, Task: task, Step: st.StepIdx, OK: resp.Pass, Detail: resp.Feedback})
+	elapsed := rt.span(PhaseQA, qaStart)
+	rt.emit(Event{Kind: EventQAVerdict, Agent: agentName, Task: task, Step: st.StepIdx,
+		OK: resp.Pass, Detail: resp.Feedback, ElapsedNS: elapsed.Nanoseconds()})
 	return resp.Pass, resp.Feedback, nil
 }
 
@@ -496,7 +513,7 @@ func humanHint(rt *Runtime, st *State, errMsg string) string {
 func sqlNode(rt *Runtime, st *State) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
-	stepStarted(rt, st, "sql")
+	started := stepStarted(rt, st, "sql")
 	type target struct {
 		src, dst, role string
 	}
@@ -517,7 +534,7 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 		targets = append(targets, target{"galaxies", "work", hacc.FileGalaxies})
 	}
 	if len(targets) == 0 {
-		stepFailed(rt, st, "sql", "sql: no staged tables to filter")
+		stepFailed(rt, st, "sql", "sql: no staged tables to filter", started)
 		return nodeSupervisor, nil
 	}
 	for _, tgt := range targets {
@@ -538,7 +555,9 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 					return "", err
 				}
 			}
+			queryStart := time.Now()
 			frame, qerr := rt.DB.Query(resp.SQL)
+			rt.span(PhaseQuery, queryStart)
 			if qerr != nil {
 				st.RedoCount++
 				priorError = qerr.Error() + humanHint(rt, st, qerr.Error())
@@ -566,11 +585,11 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 			break
 		}
 		if !ok {
-			stepFailed(rt, st, "sql", fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError))
+			stepFailed(rt, st, "sql", fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError), started)
 			return nodeSupervisor, nil
 		}
 	}
-	stepDone(rt, st, "sql", "sql filtering: "+task)
+	stepDone(rt, st, "sql", "sql filtering: "+task, started)
 	return nodeSupervisor, nil
 }
 
@@ -609,7 +628,7 @@ func scriptTables(st *State) map[string][]string {
 func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int) (string, error) {
 	in := st.Plan.Intent
 	task := currentTask(st)
-	stepStarted(rt, st, agentName)
+	started := stepStarted(rt, st, agentName)
 	// The sandbox input set is invariant across QA retries (the DB only
 	// changes after a step succeeds), so build it once per step instead of
 	// re-reading every table per attempt. The frames are shells over the
@@ -683,10 +702,12 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 				}
 			}
 		}
-		stepDone(rt, st, agentName, agentName+": "+task)
+		rt.span(agentName, started) // PhasePython / PhaseViz
+		stepDone(rt, st, agentName, agentName+": "+task, started)
 		return nodeSupervisor, nil
 	}
-	stepFailed(rt, st, agentName, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError))
+	rt.span(agentName, started)
+	stepFailed(rt, st, agentName, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError), started)
 	return nodeSupervisor, nil
 }
 

@@ -29,6 +29,11 @@ const (
 	EventErrorHint EventKind = "error_hint_requested"
 	// EventAnswer is the terminal event of every run, carrying the outcome.
 	EventAnswer EventKind = "answer"
+	// EventQueuePosition reports where a queued ask currently sits in the
+	// service's bounded worker queue (Position, 1-based; 1 = next to be
+	// picked up). Emitted by the serving layer, not the workflow: once on
+	// enqueue and again whenever the ask moves up.
+	EventQueuePosition EventKind = "queue_position"
 )
 
 // Event is one entry of a run's lifecycle stream. Seq is a contiguous,
@@ -55,6 +60,15 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 	Hint   string `json:"hint,omitempty"`
 
+	// Position is the 1-based queue slot on EventQueuePosition events.
+	Position int `json:"position,omitempty"`
+
+	// ElapsedNS is the wall-clock duration of the work the event reports:
+	// the planning round on plan events, the whole step on step_finished,
+	// the QA model call on qa_verdict. Zero on events that mark an instant
+	// rather than a span (step_started, queue_position).
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+
 	// Answer is set on the terminal EventAnswer.
 	Answer *AnswerEvent `json:"answer,omitempty"`
 }
@@ -69,6 +83,10 @@ type AnswerEvent struct {
 	Failed     bool   `json:"failed,omitempty"`
 	Error      string `json:"error,omitempty"`
 	DurationNS int64  `json:"duration_ns"`
+	// PhasesNS breaks DurationNS down by workflow phase (plan, stage,
+	// query, qa, python, viz, total) in nanoseconds. Phases the run never
+	// entered are absent.
+	PhasesNS map[string]int64 `json:"phases_ns,omitempty"`
 }
 
 // DefaultEventCapacity bounds an EventLog when NewEventLog is given no

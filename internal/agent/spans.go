@@ -1,0 +1,81 @@
+package agent
+
+import (
+	"time"
+
+	"infera/internal/telemetry"
+)
+
+// Workflow phase names used for span aggregation. Every ask that reaches
+// the analysis stage produces at least the plan, stage, query, qa and
+// total phases; python/viz appear when the plan includes code steps.
+const (
+	PhasePlan   = "plan"   // planner model rounds (review wait excluded)
+	PhaseStage  = "stage"  // dataloader: retrieval + decode + staging
+	PhaseQuery  = "query"  // SQL execution against the staging DB
+	PhaseQA     = "qa"     // QA agent verdict calls
+	PhasePython = "python" // python code steps (includes their QA retries)
+	PhaseViz    = "viz"    // visualization code steps
+	PhaseTotal  = "total"  // whole run, planning through documentation
+)
+
+// MetricAskPhaseSeconds is the histogram family per-phase ask spans are
+// observed into, labeled {phase, ...Runtime.MetricLabels}.
+const MetricAskPhaseSeconds = "infera_ask_phase_seconds"
+
+// spanSet accumulates per-phase wall-clock time for one run. A run
+// executes on a single goroutine (graph nodes run sequentially), so no
+// locking is needed; the set lives on the per-run Runtime copy made by
+// withDefaults.
+type spanSet struct {
+	ns map[string]int64
+}
+
+func newSpanSet() *spanSet { return &spanSet{ns: map[string]int64{}} }
+
+// add charges d to phase. Zero and negative durations still mark the
+// phase as entered so a fast phase is never reported as missing.
+func (s *spanSet) add(phase string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.ns[phase] += d.Nanoseconds()
+}
+
+// snapshot returns a copy of the accumulated phase durations.
+func (s *spanSet) snapshot() map[string]int64 {
+	if s == nil || len(s.ns) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.ns))
+	for k, v := range s.ns {
+		out[k] = v
+	}
+	return out
+}
+
+// observe records every accumulated phase into the registry's
+// infera_ask_phase_seconds histogram, one observation per phase per run,
+// with a phase label joined to the runtime's static labels.
+func (s *spanSet) observe(r *telemetry.Registry, base []telemetry.Label) {
+	if s == nil || r == nil {
+		return
+	}
+	for phase, ns := range s.ns {
+		labels := make([]telemetry.Label, 0, len(base)+1)
+		labels = append(labels, base...)
+		labels = append(labels, telemetry.L("phase", phase))
+		r.Histogram(MetricAskPhaseSeconds, nil, labels...).Observe(float64(ns) / 1e9)
+	}
+}
+
+// span charges phase with the time since start and returns the elapsed
+// duration, for stamping Event.ElapsedNS alongside the histogram record.
+func (rt *Runtime) span(phase string, start time.Time) time.Duration {
+	d := time.Since(start)
+	rt.spans.add(phase, d)
+	return d
+}

@@ -1,0 +1,100 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"infera/internal/telemetry"
+)
+
+// TestAskSpanSet is the span-timing acceptance check: one full ask must
+// produce a complete plan/stage/query/qa/total span set, stamped on the
+// terminal answer event and recorded into the telemetry registry under
+// infera_ask_phase_seconds with the runtime's base labels.
+func TestAskSpanSet(t *testing.T) {
+	rt := testRuntime(t, nil)
+	reg := telemetry.NewRegistry()
+	rt.Metrics = reg
+	rt.MetricLabels = []telemetry.Label{telemetry.L("ensemble", "test")}
+	events := NewEventLog(64)
+	rt.Events = events
+
+	res, err := Run(rt, "Top 5 largest halos at timestep 624 in simulation 0 please")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == nil || res.Answer.NumRows() == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Every core phase of this SQL-only ask must have a span; python/viz
+	// only appear when the plan routes through a code step.
+	all, _ := events.Since(0)
+	last := all[len(all)-1]
+	if last.Kind != EventAnswer || last.Answer == nil {
+		t.Fatalf("last event = %+v", last)
+	}
+	phases := last.Answer.PhasesNS
+	for _, phase := range []string{PhasePlan, PhaseStage, PhaseQuery, PhaseQA, PhaseTotal} {
+		if phases[phase] <= 0 {
+			t.Errorf("phase %q missing from answer span set %v", phase, phases)
+		}
+	}
+	if phases[PhaseTotal] != res.Duration.Nanoseconds() {
+		t.Errorf("total span %d != result duration %d", phases[PhaseTotal], res.Duration.Nanoseconds())
+	}
+	// Spans are wall-clock fragments of the run: none may exceed the total.
+	for phase, ns := range phases {
+		if ns > phases[PhaseTotal] {
+			t.Errorf("phase %q span %d exceeds total %d", phase, ns, phases[PhaseTotal])
+		}
+	}
+
+	// The same spans land in the registry, keyed by the base labels plus
+	// phase — one observation per phase for a single ask.
+	for phase, ns := range phases {
+		h := reg.Histogram(MetricAskPhaseSeconds, nil,
+			telemetry.L("ensemble", "test"), telemetry.L("phase", phase))
+		if h.Count() != 1 {
+			t.Errorf("phase %q histogram count = %d, want 1", phase, h.Count())
+		}
+		want := time.Duration(ns).Seconds()
+		if got := h.Sum(); got < want*0.999 || got > want*1.001 {
+			t.Errorf("phase %q histogram sum = %g, want ~%g", phase, got, want)
+		}
+	}
+
+	// Timed lifecycle events carry their elapsed stamp.
+	var planElapsed, stepElapsed, qaElapsed bool
+	for _, ev := range all {
+		switch ev.Kind {
+		case EventPlanProposed, EventPlanRevised:
+			planElapsed = planElapsed || ev.ElapsedNS > 0
+		case EventStepFinished:
+			stepElapsed = stepElapsed || ev.ElapsedNS > 0
+		case EventQAVerdict:
+			qaElapsed = qaElapsed || ev.ElapsedNS > 0
+		}
+	}
+	if !planElapsed || !stepElapsed || !qaElapsed {
+		t.Errorf("elapsed stamps: plan=%v step=%v qa=%v", planElapsed, stepElapsed, qaElapsed)
+	}
+}
+
+// TestSpanSetNilSafety: a runtime with no registry must run identically and
+// the nil-safe span helpers must not panic.
+func TestSpanSetNilSafety(t *testing.T) {
+	var s *spanSet
+	s.add(PhasePlan, time.Second) // no-op, no panic
+	if snap := s.snapshot(); snap != nil {
+		t.Fatalf("nil spanSet snapshot = %v", snap)
+	}
+	s.observe(nil, nil)
+
+	fresh := newSpanSet()
+	fresh.add(PhaseQA, -time.Second) // negative clamps to zero
+	if got := fresh.ns[PhaseQA]; got != 0 {
+		t.Fatalf("negative duration recorded as %d", got)
+	}
+	fresh.observe(nil, nil) // nil registry is a no-op
+}

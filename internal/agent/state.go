@@ -17,6 +17,7 @@ import (
 	"infera/internal/sandbox"
 	"infera/internal/sqldb"
 	"infera/internal/stage"
+	"infera/internal/telemetry"
 )
 
 // State is the shared workflow state threaded through the graph. It holds
@@ -103,6 +104,17 @@ type Runtime struct {
 	MaxPlanRounds int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, receives per-phase span histograms
+	// (infera_ask_phase_seconds) for every run. Nil records nothing.
+	Metrics *telemetry.Registry
+	// MetricLabels are attached to every series this runtime records —
+	// the serving layer sets ensemble=<shard> here.
+	MetricLabels []telemetry.Label
+
+	// spans accumulates this run's phase durations. Created per run by
+	// withDefaults, so a shared Runtime template stays reusable.
+	spans *spanSet
 }
 
 func (rt *Runtime) logf(format string, args ...any) {
@@ -132,6 +144,7 @@ func (rt *Runtime) withDefaults() *Runtime {
 	if out.Stage == nil {
 		out.Stage = stage.Shared()
 	}
+	out.spans = newSpanSet()
 	return &out
 }
 

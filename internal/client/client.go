@@ -194,6 +194,25 @@ func (c *Client) Metrics() (service.RegistryMetrics, error) {
 	return out, err
 }
 
+// PrometheusMetrics fetches /v1/metrics/prometheus and returns the raw
+// text-exposition body — latency histograms, counters and gauges for every
+// shard, ready to hand to a scraper or grep in a load test.
+func (c *Client) PrometheusMetrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/v1/metrics/prometheus")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeAPIError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // WaitReady polls /healthz until the daemon answers or the deadline
 // elapses — a convenience for scripts that just started the process.
 func (c *Client) WaitReady(timeout time.Duration) error {

@@ -20,6 +20,7 @@ import (
 	"infera/internal/script"
 	"infera/internal/sqldb"
 	"infera/internal/stage"
+	"infera/internal/telemetry"
 	"infera/internal/tools"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	MaxRevisions int
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives per-phase ask span histograms and SQL
+	// query timings for every question. Nil records nothing.
+	Metrics *telemetry.Registry
+	// MetricLabels are attached to every series this assistant records;
+	// the serving layer sets ensemble=<shard> here.
+	MetricLabels []telemetry.Label
 }
 
 // Assistant answers questions over one ensemble. It is safe for concurrent
@@ -267,6 +274,7 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.SetMetrics(a.cfg.Metrics, a.cfg.MetricLabels...)
 
 	var runner sandbox.Runner
 	if a.server != nil {
@@ -297,6 +305,8 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 		TrimHistory:       a.cfg.TrimHistory,
 		SkipDocumentation: a.cfg.SkipDocumentation,
 		Logf:              a.cfg.Logf,
+		Metrics:           a.cfg.Metrics,
+		MetricLabels:      a.cfg.MetricLabels,
 	}
 	res, runErr := agent.Run(rt, question)
 	ans := &Answer{

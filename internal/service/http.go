@@ -12,6 +12,7 @@ import (
 
 	"infera/internal/agent"
 	"infera/internal/sandbox"
+	"infera/internal/telemetry"
 )
 
 // Server exposes a shard Registry over HTTP as a versioned resource API,
@@ -32,6 +33,7 @@ import (
 //	GET    /v1/ensembles/{eid}/sessions/{id}/provenance  -> []provenance.Entry
 //	GET    /v1/ensembles/{eid}/metrics                   -> Metrics (one shard)
 //	GET    /v1/metrics                                   -> RegistryMetrics (aggregate)
+//	GET    /v1/metrics/prometheus                        -> Prometheus text exposition (fleet-wide, ensemble=<shard> labels)
 //	GET    /healthz                                      -> "ok"
 //
 // The pre-registry flat routes — POST /ask, GET /sessions[/{id}[/provenance]]
@@ -64,6 +66,7 @@ func NewServer(reg *Registry) *Server {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		sandbox.WriteJSON(w, s.reg.Metrics())
 	})
+	mux.HandleFunc("GET /v1/metrics/prometheus", s.handlePrometheus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -301,6 +304,18 @@ func (s *Server) handleShardMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sandbox.WriteJSON(w, m)
+}
+
+// handlePrometheus encodes the shared telemetry registry in the
+// Prometheus text exposition format. One endpoint serves the whole
+// fleet: per-shard series are distinguished by their ensemble=<name>
+// label rather than per-shard scrape targets.
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.TextContentType)
+	if err := s.reg.Telemetry().WritePrometheus(w); err != nil {
+		// Headers are already out; all we can do is drop the connection.
+		s.reg.logf("http: prometheus encode: %v", err)
+	}
 }
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {

@@ -62,6 +62,7 @@ func (s *Service) AskInteractive(req AskRequest) (SessionInfo, <-chan struct{}, 
 	case s.queue <- t:
 		s.m.Queued++
 		s.m.Interactive++
+		s.enqueuedLocked(t)
 		// Snapshot under the lock: a worker may already be mutating info.
 		snap := *info
 		s.mu.Unlock()
@@ -165,4 +166,5 @@ func (s *Service) markAwaiting(info *SessionInfo, awaiting bool) {
 		}
 		s.pendingApprovals--
 	}
+	s.approvals.Set(int64(s.pendingApprovals))
 }

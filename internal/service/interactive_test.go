@@ -58,13 +58,17 @@ func TestInteractiveAskFlow(t *testing.T) {
 		t.Fatalf("pending gauge = %d", svc.PendingApprovals())
 	}
 
-	// The proposed plan is in the log before any decision.
+	// The proposed plan is in the log before any decision, preceded only by
+	// the queue_position frame stamped at enqueue time.
 	events, closed, err := svc.Events(info.ID, 0)
 	if err != nil || closed {
 		t.Fatalf("events: %v closed=%v", err, closed)
 	}
-	if len(events) == 0 || events[0].Kind != agent.EventPlanProposed || events[0].Plan == nil {
+	if len(events) < 2 || events[0].Kind != agent.EventQueuePosition || events[0].Position != 1 {
 		t.Fatalf("first event = %+v", events)
+	}
+	if events[1].Kind != agent.EventPlanProposed || events[1].Plan == nil {
+		t.Fatalf("second event = %+v", events)
 	}
 
 	// Revise, then approve the revision.

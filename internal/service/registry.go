@@ -14,6 +14,7 @@ import (
 	"infera/internal/hacc"
 	"infera/internal/provenance"
 	"infera/internal/stage"
+	"infera/internal/telemetry"
 )
 
 // Registry multiplexes many named ensemble shards through one process: each
@@ -178,11 +179,19 @@ type RegistryMetrics struct {
 	ShardOpens     int64 `json:"shard_opens"`
 	ShardEvictions int64 `json:"shard_evictions"`
 	ShardTotals
-	// Stage reports the staging cache all shards share.
+	// Stage reports the staging cache all shards share. Per-shard Metrics
+	// snapshots mirror the SAME shared counters (see Metrics.Stage), so
+	// the aggregate includes them exactly once here, at top level —
+	// summing the per-shard copies would multi-count every hit, miss,
+	// partial_hit and stat_save by the number of live shards.
 	Stage stage.Stats `json:"stage"`
 }
 
 // NewRegistry returns an empty registry; add shards with Register.
+// Telemetry defaults to the process-wide registry so a stock daemon's
+// /v1/metrics/prometheus is populated without any wiring; set
+// Defaults.Metrics explicitly to isolate (tests) — there is no way to
+// disable recording, matching how Stage defaults to the shared cache.
 func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.MaxLiveShards <= 0 {
 		cfg.MaxLiveShards = DefaultMaxLiveShards
@@ -190,10 +199,20 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.Defaults.Stage == nil {
 		cfg.Defaults.Stage = stage.Shared()
 	}
+	if cfg.Defaults.Metrics == nil {
+		cfg.Defaults.Metrics = telemetry.Default()
+	}
+	cfg.Defaults.Stage.SetMetrics(cfg.Defaults.Metrics)
 	if cfg.Defaults.Logf == nil {
 		cfg.Defaults.Logf = cfg.Logf
 	}
 	return &Registry{cfg: cfg, shards: map[string]*shard{}}
+}
+
+// Telemetry exposes the registry all shards record into — the source the
+// Prometheus endpoint encodes.
+func (r *Registry) Telemetry() *telemetry.Registry {
+	return r.cfg.Defaults.Metrics
 }
 
 func (r *Registry) logf(format string, args ...any) {
@@ -476,6 +495,7 @@ func (r *Registry) openShard(sh *shard) (*Service, error) {
 	cfg := r.cfg.Defaults
 	cfg.EnsembleDir = sh.dir
 	cfg.WorkDir = sh.workDir
+	cfg.Name = sh.name
 	if sh.opts.Workers > 0 {
 		cfg.Workers = sh.opts.Workers
 	}

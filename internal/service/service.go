@@ -19,17 +19,27 @@ import (
 	"sync"
 	"time"
 
+	"infera/internal/agent"
 	"infera/internal/core"
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/provenance"
 	"infera/internal/stage"
+	"infera/internal/telemetry"
 )
 
 // Config configures a Service.
 type Config struct {
 	// EnsembleDir is the root of a generated ensemble (required).
 	EnsembleDir string
+	// Name identifies this service in telemetry: every series it records
+	// carries ensemble=<Name>. The registry sets it to the shard name;
+	// empty records unlabeled series (single-ensemble daemons).
+	Name string
+	// Metrics is the telemetry registry ask latency histograms, queue
+	// gauges and per-phase workflow spans are recorded into. Nil records
+	// nothing; the JSON /metrics snapshot is unaffected either way.
+	Metrics *telemetry.Registry
 	// WorkDir holds per-worker staging state; temp dirs when empty.
 	WorkDir string
 	// Workers is the assistant-pool size — the concurrency bound. Defaults
@@ -188,8 +198,13 @@ type Metrics struct {
 	Interactive      int64      `json:"interactive_total"`
 	PendingApprovals int        `json:"pending_approvals"`
 	Cache            CacheStats `json:"cache"`
-	// Stage reports the shared staging cache: decoded-block hits, misses,
-	// evicted bytes and residency.
+	// Stage reports the staging cache this service decodes through. The
+	// cache is normally the process-wide stage.Shared() instance, shared
+	// by every shard in the registry — so these counters (including
+	// stat_saves and partial_hits) are process totals, identical on every
+	// shard's snapshot, not per-shard slices. Aggregate consumers must
+	// count them once, never sum them across shards; RegistryMetrics does
+	// exactly that by reporting the shared cache once at top level.
 	Stage       stage.Stats `json:"stage"`
 	Fingerprint string      `json:"fingerprint"`
 	// FingerprintError reports a failed ensemble-dir walk (e.g. unmounted
@@ -239,6 +254,20 @@ type Service struct {
 	// then serve from the freshly populated cache (single-flight).
 	inflight map[CacheKey]chan struct{}
 	m        Metrics
+
+	// pending mirrors the queue channel's FIFO contents (guarded by mu) so
+	// queued interactive sessions can be told their 1-based position; the
+	// channel itself cannot be inspected. Entries are appended on enqueue
+	// and removed when a worker picks the task up.
+	pending []*task
+
+	// labels and the pre-resolved instruments below record telemetry when
+	// cfg.Metrics is set; all are safe no-ops otherwise.
+	labels     []telemetry.Label
+	queueLen   *telemetry.Gauge
+	queueWait  *telemetry.Histogram
+	approvals  *telemetry.Gauge
+	queueDepth *telemetry.Gauge
 }
 
 // New builds the assistant pool and starts the workers.
@@ -280,6 +309,23 @@ func New(cfg Config) (*Service, error) {
 		inflight:      map[CacheKey]chan struct{}{},
 		interactive:   map[string]*interactive{},
 	}
+	if cfg.Name != "" {
+		s.labels = []telemetry.Label{telemetry.L("ensemble", cfg.Name)}
+	}
+	if r := cfg.Metrics; r != nil {
+		r.SetHelp("infera_ask_seconds", "End-to-end ask latency, labeled by cache hit/miss and interactive/automated mode.")
+		r.SetHelp("infera_asks_total", "Total asks served, labeled like infera_ask_seconds.")
+		r.SetHelp("infera_queue_wait_seconds", "Time an ask spent waiting in the bounded worker queue.")
+		r.SetHelp("infera_queue_len", "Asks currently waiting in the worker queue.")
+		r.SetHelp("infera_queue_depth", "Capacity of the bounded worker queue.")
+		r.SetHelp("infera_pending_approvals", "Interactive sessions currently blocked on a plan decision.")
+		r.SetHelp(agent.MetricAskPhaseSeconds, "Per-ask wall-clock time by workflow phase (plan, stage, query, qa, python, viz, total).")
+		s.queueLen = r.Gauge("infera_queue_len", s.labels...)
+		s.queueWait = r.Histogram("infera_queue_wait_seconds", nil, s.labels...)
+		s.approvals = r.Gauge("infera_pending_approvals", s.labels...)
+		s.queueDepth = r.Gauge("infera_queue_depth", s.labels...)
+		s.queueDepth.Set(int64(cfg.QueueDepth))
+	}
 	// The catalog is read-only after load; one load serves the whole pool.
 	cat, err := hacc.Load(cfg.EnsembleDir)
 	if err != nil {
@@ -305,6 +351,8 @@ func New(cfg Config) (*Service, error) {
 			// stages zero-copy in memory.
 			DurableStaging: cfg.KeepStagingDBs,
 			Logf:           cfg.Logf,
+			Metrics:        cfg.Metrics,
+			MetricLabels:   s.labels,
 		})
 		if err != nil {
 			for _, prev := range s.assistants {
@@ -466,6 +514,7 @@ func (s *Service) Ask(req AskRequest) (*AskResult, error) {
 	select {
 	case s.queue <- t:
 		s.m.Queued++
+		s.enqueuedLocked(t)
 		s.mu.Unlock()
 	default:
 		s.m.Rejected++
@@ -473,7 +522,62 @@ func (s *Service) Ask(req AskRequest) (*AskResult, error) {
 		s.finishRecord(info, "rejected", 0, ErrQueueFull.Error())
 		return nil, ErrQueueFull
 	}
-	return <-t.done, nil
+	res := <-t.done
+	s.observeAsk("miss", "automated", res.Elapsed)
+	return res, nil
+}
+
+// observeAsk records one completed ask into the latency histogram and
+// total counter, split by cache hit/miss and interactive/automated mode.
+// A no-op without a metrics registry.
+func (s *Service) observeAsk(cache, mode string, elapsed time.Duration) {
+	r := s.cfg.Metrics
+	if r == nil {
+		return
+	}
+	labels := make([]telemetry.Label, 0, len(s.labels)+2)
+	labels = append(labels, s.labels...)
+	labels = append(labels, telemetry.L("cache", cache), telemetry.L("mode", mode))
+	r.Histogram("infera_ask_seconds", nil, labels...).ObserveDuration(elapsed)
+	r.Counter("infera_asks_total", labels...).Inc()
+}
+
+// enqueuedLocked mirrors a just-queued task into the pending list and
+// tells an interactive session its 1-based queue position (1 = next to be
+// picked up). Caller holds mu — the channel send and the mirror append
+// are one atomic step, so mirror order matches channel FIFO order.
+func (s *Service) enqueuedLocked(t *task) {
+	s.pending = append(s.pending, t)
+	s.queueLen.Set(int64(len(s.pending)))
+	if t.ia != nil {
+		t.ia.events.Append(agent.Event{Kind: agent.EventQueuePosition, Position: len(s.pending)})
+	}
+}
+
+// dequeued removes a task a worker just picked up from the pending mirror
+// and re-announces the updated position to every interactive session
+// still waiting — each SSE stream sees its position count down to 1
+// before its own step events begin. The queue is depth-bounded, so the
+// O(pending) re-announce is trivially cheap.
+func (s *Service) dequeued(t *task) {
+	s.mu.Lock()
+	for i, p := range s.pending {
+		if p == t {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.queueLen.Set(int64(len(s.pending)))
+	// Re-announce under mu: a task's removal and every announce targeting
+	// it are serialized by the lock, so a session's queue_position events
+	// always precede its worker's first step event.
+	for i, p := range s.pending {
+		if p.ia != nil {
+			p.ia.events.Append(agent.Event{Kind: agent.EventQueuePosition, Position: i + 1})
+		}
+	}
+	s.mu.Unlock()
+	s.queueWait.ObserveDuration(time.Since(t.info.Enqueued))
 }
 
 // serveCached records and returns a cache hit.
@@ -491,6 +595,7 @@ func (s *Service) serveCached(req AskRequest, hit *AskResult, start time.Time) *
 	out.Question = req.Question // echo this request's phrasing, not the original's
 	out.Cached = true
 	out.Elapsed = time.Since(start)
+	s.observeAsk("hit", "automated", out.Elapsed)
 	s.logf("service: %s cache hit for %q (session %s)", info.ID, req.Question, hit.SessionID)
 	return &out
 }
@@ -547,6 +652,7 @@ func (s *Service) finishRecord(info *SessionInfo, status string, tokens int, err
 func (s *Service) worker(idx int, a *core.Assistant) {
 	defer s.wg.Done()
 	for t := range s.queue {
+		s.dequeued(t)
 		s.mu.Lock()
 		t.info.Status = "running"
 		t.info.Worker = idx
@@ -568,6 +674,9 @@ func (s *Service) worker(idx int, a *core.Assistant) {
 			// its close is guaranteed to find the result.
 			t.ia.events.Close()
 			close(t.ia.done)
+			// Interactive asks resolve here, not in a blocked Ask call, so
+			// their latency is recorded by the worker that finished them.
+			s.observeAsk("miss", "interactive", res.Elapsed)
 		}
 		t.done <- res
 	}

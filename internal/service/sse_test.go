@@ -178,12 +178,28 @@ func TestHTTPInteractiveSSEResume(t *testing.T) {
 	conn := openSSE(t, base, "default", info.ID, 0)
 	var seqs []int
 	var kinds []agent.EventKind
-	first, done := conn.next(t)
-	if done || first.Kind != agent.EventPlanProposed || first.Plan == nil || len(first.Plan.Steps) == 0 {
-		t.Fatalf("first frame = %+v done=%v", first, done)
+	// The stream opens with queue_position frames (one on enqueue, more as
+	// the queue drains) and then plan_proposed; consume up to it.
+	var first agent.Event
+	for {
+		ev, done := conn.next(t)
+		if done {
+			t.Fatalf("stream ended before plan_proposed: %v", kinds)
+		}
+		seqs = append(seqs, ev.Seq)
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == agent.EventQueuePosition {
+			if ev.Position < 1 {
+				t.Fatalf("queue_position frame with position %d: %+v", ev.Position, ev)
+			}
+			continue
+		}
+		if ev.Kind != agent.EventPlanProposed || ev.Plan == nil || len(ev.Plan.Steps) == 0 {
+			t.Fatalf("expected plan_proposed frame, got %+v", ev)
+		}
+		first = ev
+		break
 	}
-	seqs = append(seqs, first.Seq)
-	kinds = append(kinds, first.Kind)
 	// Kill the connection mid-plan, before any decision.
 	conn.close()
 

@@ -7,9 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"infera/internal/dataframe"
 	"infera/internal/gio"
+	"infera/internal/telemetry"
 )
 
 // ColumnMeta describes one table column in the database catalog.
@@ -60,6 +62,10 @@ type DB struct {
 	staged    bool
 	tables    map[string]*table
 	bytesRead int64
+
+	// Pre-resolved telemetry instruments (SetMetrics); nil records nothing.
+	querySeconds *telemetry.Histogram
+	scannedBytes *telemetry.Counter
 }
 
 const dbCatalogName = "db.json"
@@ -390,6 +396,24 @@ func (db *DB) SizeBytes() int64 {
 	return total
 }
 
+// SetMetrics points the database at a telemetry registry: every Query
+// observes its wall-clock duration into infera_sql_query_seconds and
+// every read charges its pruned column bytes to
+// infera_sql_scanned_bytes_total, both carrying the given labels (the
+// serving layer passes ensemble=<shard>). A nil registry records nothing.
+func (db *DB) SetMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r == nil {
+		db.querySeconds, db.scannedBytes = nil, nil
+		return
+	}
+	r.SetHelp("infera_sql_query_seconds", "Wall-clock duration of one SQL query against a staging database.")
+	r.SetHelp("infera_sql_scanned_bytes_total", "Cumulative encoded-size bytes of columns served to reads and queries.")
+	db.querySeconds = r.Histogram("infera_sql_query_seconds", nil, labels...)
+	db.scannedBytes = r.Counter("infera_sql_scanned_bytes_total", labels...)
+}
+
 // BytesScanned reports cumulative data-block bytes served to reads and
 // queries, as encoded-size equivalents of the columns each read actually
 // selected. Column pruning keeps this proportional to what a query
@@ -428,15 +452,25 @@ func (db *DB) ReadTable(name string, columns ...string) (*dataframe.Frame, error
 			return nil, err
 		}
 	}
+	var scanned int64
 	for i := 0; i < out.NumCols(); i++ {
-		db.bytesRead += gio.EncodedSize(out.ColumnAt(i))
+		scanned += gio.EncodedSize(out.ColumnAt(i))
 	}
+	db.bytesRead += scanned
+	db.scannedBytes.Add(scanned)
 	return out, nil
 }
 
 // Query parses and executes a SELECT, serving only the columns the
 // statement references from the resident table.
 func (db *DB) Query(sql string) (*dataframe.Frame, error) {
+	start := time.Now()
+	defer func() {
+		db.mu.Lock()
+		hist := db.querySeconds
+		db.mu.Unlock()
+		hist.ObserveDuration(time.Since(start))
+	}()
 	stmt, err := parseSelect(sql)
 	if err != nil {
 		return nil, err

@@ -75,6 +75,7 @@ import (
 
 	"infera/internal/dataframe"
 	"infera/internal/gio"
+	"infera/internal/telemetry"
 )
 
 // DefaultBudgetBytes is the Shared cache's decoded-block budget.
@@ -177,6 +178,11 @@ type Cache struct {
 	// paths refcounts resident blocks per file for the Files gauge.
 	paths map[string]int
 	stats Stats
+
+	// Pre-resolved telemetry instruments (SetMetrics); nil records nothing.
+	// Pre-resolving keeps the decode path free of registry lookups.
+	decodeSeconds *telemetry.Histogram
+	decodedBytes  *telemetry.Counter
 }
 
 // New returns a cache holding at most budgetBytes of decoded column
@@ -235,6 +241,24 @@ func (c *Cache) SetStatTTL(ttl time.Duration) {
 	if ttl <= 0 {
 		c.statMemo = map[string]statEntry{}
 	}
+}
+
+// SetMetrics points the cache at a telemetry registry: every decode batch
+// observes its wall-clock duration into infera_stage_decode_seconds and
+// its block bytes into infera_stage_decoded_bytes_total. A nil registry
+// (the default) records nothing. Instruments are resolved once here so
+// the decode path stays lookup-free.
+func (c *Cache) SetMetrics(r *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r == nil {
+		c.decodeSeconds, c.decodedBytes = nil, nil
+		return
+	}
+	r.SetHelp("infera_stage_decode_seconds", "Wall-clock duration of one gio column decode batch.")
+	r.SetHelp("infera_stage_decoded_bytes_total", "Cumulative encoded block bytes read from disk by stage-cache decodes.")
+	c.decodeSeconds = r.Histogram("infera_stage_decode_seconds", nil)
+	c.decodedBytes = r.Counter("infera_stage_decoded_bytes_total")
 }
 
 // Stats returns a snapshot of the counters.
@@ -436,6 +460,7 @@ func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytes
 // rewrite yields a stale stamp and re-decodes on the next access rather
 // than serving torn data.
 func (c *Cache) decode(path string, cols []string) ([]*entry, []error) {
+	start := time.Now()
 	entries := make([]*entry, len(cols))
 	errs := make([]error, len(cols))
 	failAll := func(err error) ([]*entry, []error) {
@@ -488,7 +513,10 @@ func (c *Cache) decode(path string, cols []string) ([]*entry, []error) {
 	}
 	c.mu.Lock()
 	c.stats.BytesDecoded += total
+	hist, ctr := c.decodeSeconds, c.decodedBytes
 	c.mu.Unlock()
+	hist.ObserveDuration(time.Since(start))
+	ctr.Add(total)
 	// Deliberately no stat-memo refresh here: the caller's statPath already
 	// memoized the pre-decode identity, and re-stamping it at post-decode
 	// time could both clobber a newer generation another goroutine observed
