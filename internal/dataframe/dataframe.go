@@ -187,21 +187,32 @@ func (c *Column) gather(idx []int) *Column {
 	switch c.Kind {
 	case Float:
 		out.F = make([]float64, len(idx))
-		for j, i := range idx {
-			out.F[j] = c.F[i]
-		}
+		gatherInto(out.F, c.F, idx)
 	case Int:
 		out.I = make([]int64, len(idx))
-		for j, i := range idx {
-			out.I[j] = c.I[i]
-		}
+		gatherInto(out.I, c.I, idx)
 	default:
 		out.S = make([]string, len(idx))
-		for j, i := range idx {
-			out.S[j] = c.S[i]
-		}
+		gatherInto(out.S, c.S, idx)
 	}
 	return out
+}
+
+// gatherInto copies src[idx[j]] into dst[j] for every j, batching runs of
+// consecutive indices into single copy calls. Selection vectors produced by
+// the SQL engine are mostly long ascending runs (whole blocks surviving a
+// filter, Head/Slice windows), where bulk copy beats element-wise moves.
+func gatherInto[T any](dst, src []T, idx []int) {
+	j := 0
+	for j < len(idx) {
+		start := idx[j]
+		k := j + 1
+		for k < len(idx) && idx[k] == idx[k-1]+1 {
+			k++
+		}
+		copy(dst[j:k], src[start:start+(k-j)])
+		j = k
+	}
 }
 
 // Frame is an ordered collection of equal-length columns with unique names.

@@ -1,0 +1,54 @@
+package dataframe
+
+import "math"
+
+// Stats summarizes one column's value distribution for predicate pruning:
+// the SQL planner compares WHERE bounds against per-segment Min/Max to skip
+// whole segments without touching a vector. Min/Max cover the non-NaN
+// elements (Min=+Inf, Max=-Inf when there are none); NaNs counts float NaN
+// elements, which matter because SQL comparison semantics let NaN rows
+// satisfy <= and >= (see sqldb's tree-walk evaluator). String columns
+// report Valid=false and are never pruned.
+type Stats struct {
+	Valid bool
+	Min   float64
+	Max   float64
+	NaNs  int
+	N     int
+}
+
+// ComputeStats scans c once and returns its Stats. The scan is O(n) and
+// allocation-free; callers cache the result per shared column vector.
+func ComputeStats(c *Column) Stats {
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1), N: c.Len()}
+	switch c.Kind {
+	case Float:
+		s.Valid = true
+		for _, v := range c.F {
+			if math.IsNaN(v) {
+				s.NaNs++
+				continue
+			}
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	case Int:
+		s.Valid = true
+		for _, v := range c.I {
+			f := float64(v)
+			if f < s.Min {
+				s.Min = f
+			}
+			if f > s.Max {
+				s.Max = f
+			}
+		}
+	default:
+		// Strings carry no numeric range; pruning treats them as unknown.
+	}
+	return s
+}

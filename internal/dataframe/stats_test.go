@@ -1,0 +1,76 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	fc := NewFloat("f", []float64{3.5, math.NaN(), -2, 7, math.NaN()})
+	s := ComputeStats(fc)
+	if !s.Valid || s.Min != -2 || s.Max != 7 || s.NaNs != 2 || s.N != 5 {
+		t.Errorf("float stats = %+v", s)
+	}
+
+	ic := NewInt("i", []int64{5, -9, 12})
+	s = ComputeStats(ic)
+	if !s.Valid || s.Min != -9 || s.Max != 12 || s.NaNs != 0 || s.N != 3 {
+		t.Errorf("int stats = %+v", s)
+	}
+
+	sc := NewString("s", []string{"a", "b"})
+	if s = ComputeStats(sc); s.Valid {
+		t.Errorf("string stats should be invalid, got %+v", s)
+	}
+
+	// Empty and all-NaN columns keep the inverted sentinel range, which the
+	// pruner relies on to classify them as matching nothing numeric.
+	s = ComputeStats(NewFloat("e", nil))
+	if !s.Valid || !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) || s.N != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	s = ComputeStats(NewFloat("n", []float64{math.NaN(), math.NaN()}))
+	if !s.Valid || !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) || s.NaNs != 2 {
+		t.Errorf("all-NaN stats = %+v", s)
+	}
+}
+
+// TestGatherRuns covers the run-batched gather fast path: consecutive
+// index runs (the common shape of selection vectors) must copy correctly
+// alongside scattered and repeated indices.
+func TestGatherRuns(t *testing.T) {
+	f := MustFromColumns(
+		NewInt("i", []int64{10, 11, 12, 13, 14, 15, 16, 17}),
+		NewFloat("f", []float64{0, 1, 2, 3, 4, 5, 6, 7}),
+		NewString("s", []string{"a", "b", "c", "d", "e", "f", "g", "h"}),
+	)
+	for _, tc := range []struct {
+		name string
+		idx  []int
+		want []int64
+	}{
+		{"full run", []int{0, 1, 2, 3, 4, 5, 6, 7}, []int64{10, 11, 12, 13, 14, 15, 16, 17}},
+		{"two runs", []int{0, 1, 2, 5, 6, 7}, []int64{10, 11, 12, 15, 16, 17}},
+		{"scattered", []int{7, 0, 3}, []int64{17, 10, 13}},
+		{"repeats", []int{2, 2, 3, 3}, []int64{12, 12, 13, 13}},
+		{"descending", []int{3, 2, 1}, []int64{13, 12, 11}},
+		{"empty", nil, nil},
+	} {
+		g := f.Gather(tc.idx)
+		if g.NumRows() != len(tc.idx) {
+			t.Fatalf("%s: rows = %d, want %d", tc.name, g.NumRows(), len(tc.idx))
+		}
+		gi := g.MustColumn("i").I
+		for j, want := range tc.want {
+			if gi[j] != want {
+				t.Errorf("%s: i[%d] = %d, want %d", tc.name, j, gi[j], want)
+			}
+			if gf := g.MustColumn("f").F[j]; gf != float64(want-10) {
+				t.Errorf("%s: f[%d] = %v", tc.name, j, gf)
+			}
+			if gs := g.MustColumn("s").S[j]; gs != string(rune('a'+want-10)) {
+				t.Errorf("%s: s[%d] = %q", tc.name, j, gs)
+			}
+		}
+	}
+}

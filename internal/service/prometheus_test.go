@@ -108,8 +108,10 @@ func TestHTTPPrometheusEndpoint(t *testing.T) {
 		`# TYPE infera_queue_len gauge`,
 		`# TYPE infera_queue_wait_seconds histogram`,
 		`# TYPE infera_stage_decode_seconds histogram`,
-		`infera_sql_query_seconds_count{ensemble="default"}`,
+		`infera_sql_query_seconds_count{backend="vectorized",ensemble="default"}`,
 		`infera_sql_scanned_bytes_total{ensemble="default"}`,
+		`# TYPE infera_sql_segments_pruned_total counter`,
+		`# TYPE infera_sql_rows_filtered_total counter`,
 		`infera_stage_decoded_bytes_total`,
 	} {
 		if !strings.Contains(body, want) {

@@ -41,6 +41,11 @@ type table struct {
 	segments []*dataframe.Frame
 	mat      *dataframe.Frame
 	dirty    bool
+	// colStats lazily caches per-segment column stats for WHERE pruning,
+	// keyed by column identity. Shared columns are immutable, so an entry
+	// stays valid as long as its column is referenced by a live segment;
+	// the map is dropped whenever the segment list is replaced.
+	colStats map[*dataframe.Column]dataframe.Stats
 }
 
 // DB is an analytical database: named column tables served from resident
@@ -64,8 +69,11 @@ type DB struct {
 	bytesRead int64
 
 	// Pre-resolved telemetry instruments (SetMetrics); nil records nothing.
-	querySeconds *telemetry.Histogram
-	scannedBytes *telemetry.Counter
+	queryTreeSeconds *telemetry.Histogram
+	queryVecSeconds  *telemetry.Histogram
+	scannedBytes     *telemetry.Counter
+	segmentsPruned   *telemetry.Counter
+	rowsFiltered     *telemetry.Counter
 }
 
 const dbCatalogName = "db.json"
@@ -279,8 +287,10 @@ func (db *DB) materializeLocked(t *table) (*dataframe.Frame, error) {
 	mat.MarkShared()
 	t.mat = mat
 	// Collapse the segments so the pre-concat frames (and any cache vectors
-	// they alias) can be released.
+	// they alias) can be released. Cached stats point at the old segment
+	// columns, so they go too.
 	t.segments = []*dataframe.Frame{mat}
+	t.colStats = nil
 	return mat, nil
 }
 
@@ -397,21 +407,34 @@ func (db *DB) SizeBytes() int64 {
 }
 
 // SetMetrics points the database at a telemetry registry: every Query
-// observes its wall-clock duration into infera_sql_query_seconds and
-// every read charges its pruned column bytes to
-// infera_sql_scanned_bytes_total, both carrying the given labels (the
-// serving layer passes ensemble=<shard>). A nil registry records nothing.
+// observes its wall-clock duration into infera_sql_query_seconds (labelled
+// by the execution backend that served it), every read charges its pruned
+// column bytes to infera_sql_scanned_bytes_total, and the vectorized
+// engine counts pruned segments and filtered rows. All series carry the
+// given labels (the serving layer passes ensemble=<shard>). A nil registry
+// records nothing.
 func (db *DB) SetMetrics(r *telemetry.Registry, labels ...telemetry.Label) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if r == nil {
-		db.querySeconds, db.scannedBytes = nil, nil
+		db.queryTreeSeconds, db.queryVecSeconds = nil, nil
+		db.scannedBytes, db.segmentsPruned, db.rowsFiltered = nil, nil, nil
 		return
 	}
-	r.SetHelp("infera_sql_query_seconds", "Wall-clock duration of one SQL query against a staging database.")
+	r.SetHelp("infera_sql_query_seconds", "Wall-clock duration of one SQL query against a staging database, by execution backend.")
 	r.SetHelp("infera_sql_scanned_bytes_total", "Cumulative encoded-size bytes of columns served to reads and queries.")
-	db.querySeconds = r.Histogram("infera_sql_query_seconds", nil, labels...)
+	r.SetHelp("infera_sql_segments_pruned_total", "Table segments skipped entirely by min/max WHERE pruning.")
+	r.SetHelp("infera_sql_rows_filtered_total", "Rows scanned by SQL queries and rejected by the WHERE clause.")
+	withBackend := func(be Backend) []telemetry.Label {
+		ls := make([]telemetry.Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		return append(ls, telemetry.L("backend", be.String()))
+	}
+	db.queryTreeSeconds = r.Histogram("infera_sql_query_seconds", nil, withBackend(BackendTreeWalk)...)
+	db.queryVecSeconds = r.Histogram("infera_sql_query_seconds", nil, withBackend(BackendVectorized)...)
 	db.scannedBytes = r.Counter("infera_sql_scanned_bytes_total", labels...)
+	db.segmentsPruned = r.Counter("infera_sql_segments_pruned_total", labels...)
+	db.rowsFiltered = r.Counter("infera_sql_rows_filtered_total", labels...)
 }
 
 // BytesScanned reports cumulative data-block bytes served to reads and
@@ -461,20 +484,81 @@ func (db *DB) ReadTable(name string, columns ...string) (*dataframe.Frame, error
 	return out, nil
 }
 
+// Backend identifies which execution engine serves a query.
+type Backend int
+
+const (
+	// BackendAuto compiles to the vectorized engine when the statement is
+	// vectorizable and falls back to the tree-walk evaluator otherwise.
+	BackendAuto Backend = iota
+	// BackendTreeWalk forces the row-at-a-time reference engine.
+	BackendTreeWalk
+	// BackendVectorized requires the compiled engine; statements it cannot
+	// compile fail instead of falling back. Used by differential tests and
+	// benchmarks.
+	BackendVectorized
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendTreeWalk:
+		return "treewalk"
+	case BackendVectorized:
+		return "vectorized"
+	default:
+		return "auto"
+	}
+}
+
 // Query parses and executes a SELECT, serving only the columns the
-// statement references from the resident table.
+// statement references from the resident table. Vectorizable statements
+// compile to batch kernels that run directly over the table's resident
+// segments — no concat materialization — with min/max segment pruning;
+// anything else runs on the tree-walk evaluator with identical semantics.
 func (db *DB) Query(sql string) (*dataframe.Frame, error) {
+	return db.QueryBackend(sql, BackendAuto)
+}
+
+// QueryBackend is Query with an explicit engine choice.
+func (db *DB) QueryBackend(sql string, force Backend) (*dataframe.Frame, error) {
 	start := time.Now()
-	defer func() {
-		db.mu.Lock()
-		hist := db.querySeconds
-		db.mu.Unlock()
-		hist.ObserveDuration(time.Since(start))
-	}()
 	stmt, err := parseSelect(sql)
 	if err != nil {
+		db.finishQuery(BackendTreeWalk, start, nil)
 		return nil, err
 	}
+	var st execStats
+	if force != BackendTreeWalk {
+		f, handled, err := db.queryVectorized(stmt, force, &st)
+		if handled {
+			db.finishQuery(BackendVectorized, start, &st)
+			return f, err
+		}
+	}
+	f, err := db.queryTreeWalk(stmt, &st)
+	db.finishQuery(BackendTreeWalk, start, &st)
+	return f, err
+}
+
+// finishQuery records latency (to the serving backend's series) and the
+// query's filtered-row count.
+func (db *DB) finishQuery(be Backend, start time.Time, st *execStats) {
+	db.mu.Lock()
+	hist := db.queryTreeSeconds
+	if be == BackendVectorized {
+		hist = db.queryVecSeconds
+	}
+	rf := db.rowsFiltered
+	db.mu.Unlock()
+	hist.ObserveDuration(time.Since(start))
+	if st != nil {
+		rf.Add(st.rowsFiltered)
+	}
+}
+
+// queryTreeWalk materializes the referenced columns and runs the row
+// engine.
+func (db *DB) queryTreeWalk(stmt *selectStmt, st *execStats) (*dataframe.Frame, error) {
 	var cols []string
 	star := false
 	for _, it := range stmt.items {
@@ -489,7 +573,103 @@ func (db *DB) Query(sql string) (*dataframe.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(stmt, src)
+	return execute(stmt, src, st)
+}
+
+// queryVectorized compiles and runs stmt on the vectorized engine.
+// handled=false means the statement is not vectorizable and the caller
+// should fall back (only possible when force is BackendAuto).
+func (db *DB) queryVectorized(stmt *selectStmt, force Backend, st *execStats) (_ *dataframe.Frame, handled bool, _ error) {
+	db.mu.Lock()
+	t, ok := db.tables[stmt.table]
+	if !ok {
+		db.mu.Unlock()
+		return nil, true, &CatalogError{Msg: fmt.Sprintf("table %q not found", stmt.table)}
+	}
+	plan, perr := planVectorized(stmt, t.info.Columns)
+	if perr != nil {
+		db.mu.Unlock()
+		if force == BackendVectorized {
+			return nil, true, fmt.Errorf("sqldb: statement is not vectorizable: %w", perr)
+		}
+		return nil, false, nil
+	}
+	if t.mat == nil && len(t.segments) == 0 {
+		if err := db.loadLocked(t); err != nil {
+			db.mu.Unlock()
+			return nil, true, err
+		}
+	}
+	// Snapshot the segment list; shared columns are immutable, so the scan
+	// needs no lock. Prune segments whose stats prove WHERE matches nothing.
+	segs := make([]*dataframe.Frame, len(t.segments))
+	copy(segs, t.segments)
+	pruned := make([]bool, len(segs))
+	prunedCount := 0
+	if stmt.where != nil {
+		for i, seg := range segs {
+			seg := seg
+			verdict := pruneExpr(stmt.where, func(name string) (dataframe.Stats, bool) {
+				return db.segStatsLocked(t, seg, name)
+			})
+			if verdict == triFalse {
+				pruned[i] = true
+				prunedCount++
+			}
+		}
+	}
+	// Charge the scan: referenced columns over surviving segments only —
+	// the same accounting ReadTable applies, minus what pruning skipped.
+	star := false
+	for _, it := range stmt.items {
+		if it.star {
+			star = true
+		}
+	}
+	cols := stmt.referencedColumns()
+	var scanned int64
+	for i, seg := range segs {
+		if pruned[i] {
+			continue
+		}
+		if star {
+			for ci := 0; ci < seg.NumCols(); ci++ {
+				scanned += gio.EncodedSize(seg.ColumnAt(ci))
+			}
+			continue
+		}
+		for _, name := range cols {
+			if c, err := seg.Column(name); err == nil {
+				scanned += gio.EncodedSize(c)
+			}
+		}
+	}
+	db.bytesRead += scanned
+	scannedC, prunedC := db.scannedBytes, db.segmentsPruned
+	db.mu.Unlock()
+
+	scannedC.Add(scanned)
+	prunedC.Add(int64(prunedCount))
+	f, err := plan.run(segScan{segs: segs, pruned: pruned}, st)
+	return f, true, err
+}
+
+// segStatsLocked returns (computing and caching on first use) one
+// column's stats within one segment. Caller holds mu.
+func (db *DB) segStatsLocked(t *table, seg *dataframe.Frame, name string) (dataframe.Stats, bool) {
+	c, err := seg.Column(name)
+	if err != nil {
+		return dataframe.Stats{}, false
+	}
+	if s, ok := t.colStats[c]; ok {
+		return s, true
+	}
+	s := dataframe.ComputeStats(c)
+	if t.colStats == nil {
+		t.colStats = map[*dataframe.Column]dataframe.Stats{}
+	}
+	t.colStats[c] = s
+	return s, true
 }
 
 // Explain returns the pruned column set a query would scan, for
@@ -502,6 +682,61 @@ func Explain(sql string) (table string, columns []string, err error) {
 	cols := stmt.referencedColumns()
 	sort.Strings(cols)
 	return stmt.table, cols, nil
+}
+
+// ExplainInfo is DB.ExplainQuery's report: what a statement would scan and
+// how it would run, without executing it.
+type ExplainInfo struct {
+	Table          string   `json:"table"`
+	Columns        []string `json:"columns"`
+	Backend        string   `json:"backend"`
+	FallbackReason string   `json:"fallback_reason,omitempty"`
+	Segments       int      `json:"segments"`
+	SegmentsPruned int      `json:"segments_pruned"`
+}
+
+// ExplainQuery reports the execution plan for sql against this database:
+// the referenced columns, the backend that would serve it (with the
+// compiler's reason when it falls back to the tree-walk), and — for
+// vectorized plans with a WHERE clause — how many resident segments
+// min/max stats would prune from the scan.
+func (db *DB) ExplainQuery(sql string) (ExplainInfo, error) {
+	stmt, err := parseSelect(sql)
+	if err != nil {
+		return ExplainInfo{}, err
+	}
+	cols := stmt.referencedColumns()
+	sort.Strings(cols)
+	info := ExplainInfo{Table: stmt.table, Columns: cols, Backend: BackendTreeWalk.String()}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[stmt.table]
+	if !ok {
+		return ExplainInfo{}, &CatalogError{Msg: fmt.Sprintf("table %q not found", stmt.table)}
+	}
+	if _, perr := planVectorized(stmt, t.info.Columns); perr != nil {
+		info.FallbackReason = perr.Error()
+		return info, nil
+	}
+	info.Backend = BackendVectorized.String()
+	if t.mat == nil && len(t.segments) == 0 {
+		if err := db.loadLocked(t); err != nil {
+			return ExplainInfo{}, err
+		}
+	}
+	info.Segments = len(t.segments)
+	if stmt.where != nil {
+		for _, seg := range t.segments {
+			seg := seg
+			verdict := pruneExpr(stmt.where, func(name string) (dataframe.Stats, bool) {
+				return db.segStatsLocked(t, seg, name)
+			})
+			if verdict == triFalse {
+				info.SegmentsPruned++
+			}
+		}
+	}
+	return info, nil
 }
 
 // estimatedBytes prices a frame at its gio-encoded block size without

@@ -286,35 +286,32 @@ func evalBinary(e *binaryExpr, ctx evalContext) (value, error) {
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any one char).
+// Two-pointer greedy matching with single backtrack point: on mismatch,
+// retry from the most recent %, consuming one more source byte. O(len(s) *
+// len(pattern)) worst case — no exponential blowup on patterns like
+// %a%a%a%… that the old recursive expansion choked on.
 func likeMatch(s, pattern string) bool {
-	var match func(si, pi int) bool
-	match = func(si, pi int) bool {
-		for pi < len(pattern) {
-			switch pattern[pi] {
-			case '%':
-				for k := si; k <= len(s); k++ {
-					if match(k, pi+1) {
-						return true
-					}
-				}
-				return false
-			case '_':
-				if si >= len(s) {
-					return false
-				}
-				si++
-				pi++
-			default:
-				if si >= len(s) || s[si] != pattern[pi] {
-					return false
-				}
-				si++
-				pi++
-			}
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			mark++
+			si, pi = mark, star+1
+		default:
+			return false
 		}
-		return si == len(s)
 	}
-	return match(0, 0)
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
 }
 
 func evalCall(e *callExpr, ctx evalContext) (value, error) {
@@ -367,12 +364,16 @@ func newAccumulator(fn string) *aggAccumulator {
 	return &aggAccumulator{fn: fn, min: math.Inf(1), max: math.Inf(-1)}
 }
 
-func (a *aggAccumulator) add(v value) {
+func (a *aggAccumulator) add(v value) { a.addFloat(v.asFloat()) }
+
+// addFloat is the hot path shared with the vectorized engine, which feeds
+// aggregate arguments as raw float blocks. COUNT ignores the value; NaN
+// counts toward n (AVG divides by it) but never contributes to the moments.
+func (a *aggAccumulator) addFloat(f float64) {
 	a.n++
 	if a.fn == "COUNT" {
 		return
 	}
-	f := v.asFloat()
 	if math.IsNaN(f) {
 		return
 	}

@@ -14,11 +14,15 @@ const blockSize = 8192
 
 // execute runs a parsed statement over a source frame whose columns have
 // already been pruned to stmt.referencedColumns() (or the full schema if a
-// star projection is present).
-func execute(stmt *selectStmt, src *dataframe.Frame) (*dataframe.Frame, error) {
+// star projection is present). st (nil-tolerant) receives scan counts.
+func execute(stmt *selectStmt, src *dataframe.Frame, st *execStats) (*dataframe.Frame, error) {
 	keep, err := filterRows(stmt, src)
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		st.rowsScanned += int64(src.NumRows())
+		st.rowsFiltered += int64(src.NumRows() - len(keep))
 	}
 
 	var out *dataframe.Frame
@@ -261,6 +265,16 @@ func (c *groupContext) aggValue(e *aggExpr) (value, bool) {
 	return v, ok
 }
 
+// aggGroup is one accumulated group: an exemplar row (frame + row index)
+// for non-aggregate select items, and one accumulator per aggregate node.
+// The synthetic empty global group has row = -1 and never resolves
+// identifiers (renderGroups rejects non-pure-aggregate items first).
+type aggGroup struct {
+	frame *dataframe.Frame
+	row   int
+	accs  []*aggAccumulator
+}
+
 // executeGrouped handles aggregate and GROUP BY queries. Group keys are the
 // GROUP BY expressions (or one global group when absent); each aggregate
 // node accumulates per group in a single streaming pass.
@@ -274,12 +288,8 @@ func executeGrouped(stmt *selectStmt, src *dataframe.Frame, keep []int) (*datafr
 		collectAggs(item.ex, &aggNodes)
 	}
 
-	type group struct {
-		firstRow int
-		accs     []*aggAccumulator
-	}
-	groupOf := map[string]*group{}
-	var order []*group
+	groupOf := map[string]*aggGroup{}
+	var order []*aggGroup
 	ctx := &rowContext{frame: src}
 	var sb strings.Builder
 
@@ -297,10 +307,7 @@ func executeGrouped(stmt *selectStmt, src *dataframe.Frame, keep []int) (*datafr
 		key := sb.String()
 		grp, ok := groupOf[key]
 		if !ok {
-			grp = &group{firstRow: r, accs: make([]*aggAccumulator, len(aggNodes))}
-			for i, a := range aggNodes {
-				grp.accs[i] = newAccumulator(a.fn)
-			}
+			grp = &aggGroup{frame: src, row: r, accs: newAccs(aggNodes)}
 			groupOf[key] = grp
 			order = append(order, grp)
 		}
@@ -318,14 +325,15 @@ func executeGrouped(stmt *selectStmt, src *dataframe.Frame, keep []int) (*datafr
 	}
 	// A global aggregate over zero rows still yields one row (COUNT = 0).
 	if len(stmt.groupBy) == 0 && len(order) == 0 {
-		grp := &group{firstRow: -1, accs: make([]*aggAccumulator, len(aggNodes))}
-		for i, a := range aggNodes {
-			grp.accs[i] = newAccumulator(a.fn)
-		}
-		order = append(order, grp)
+		order = append(order, &aggGroup{frame: src, row: -1, accs: newAccs(aggNodes)})
 	}
+	return renderGroups(stmt, aggNodes, order)
+}
 
-	// Evaluate select items per group.
+// renderGroups evaluates the select list once per accumulated group and
+// assembles the output frame. Shared by the tree-walk and vectorized
+// backends, so grouped projection semantics cannot diverge.
+func renderGroups(stmt *selectStmt, aggNodes []*aggExpr, order []*aggGroup) (*dataframe.Frame, error) {
 	itemVals := make([][]value, len(stmt.items))
 	for i := range itemVals {
 		itemVals[i] = make([]value, len(order))
@@ -335,9 +343,9 @@ func executeGrouped(stmt *selectStmt, src *dataframe.Frame, keep []int) (*datafr
 		for i, a := range aggNodes {
 			aggs[a] = grp.accs[i].result()
 		}
-		gctx := &groupContext{row: &rowContext{frame: src, row: grp.firstRow}, aggs: aggs}
+		gctx := &groupContext{row: &rowContext{frame: grp.frame, row: grp.row}, aggs: aggs}
 		for ii, item := range stmt.items {
-			if grp.firstRow < 0 && !isPureAggregate(item.ex) {
+			if grp.row < 0 && !isPureAggregate(item.ex) {
 				return nil, evalErrf("non-aggregate select item over empty input")
 			}
 			v, err := evalExpr(item.ex, gctx)
@@ -451,7 +459,13 @@ func orderRows(stmt *selectStmt, out *dataframe.Frame) (*dataframe.Frame, error)
 		if err != nil {
 			return nil, err
 		}
-		work = work.Clone()
+		// A shallow shell shares the output's column vectors but owns its
+		// column list, so temp sort keys never mutate the caller's frame.
+		// One shell serves every computed key (the old code deep-cloned the
+		// whole frame per key).
+		if work == out {
+			work = out.Shallow()
+		}
 		if err := work.AddColumn(col); err != nil {
 			return nil, err
 		}

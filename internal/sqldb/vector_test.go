@@ -1,0 +1,207 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"infera/internal/dataframe"
+	"infera/internal/telemetry"
+)
+
+func explain(t *testing.T, db *DB, sql string) ExplainInfo {
+	t.Helper()
+	info, err := db.ExplainQuery(sql)
+	if err != nil {
+		t.Fatalf("ExplainQuery(%q): %v", sql, err)
+	}
+	return info
+}
+
+func TestExplainQueryPruning(t *testing.T) {
+	db := diffDB(t) // 5 segments; seg column is min=max=segment index
+
+	info := explain(t, db, "SELECT tag FROM parts WHERE seg = 2")
+	if info.Backend != "vectorized" || info.Segments != 5 || info.SegmentsPruned != 4 {
+		t.Fatalf("seg=2 explain = %+v, want vectorized 5 segments 4 pruned", info)
+	}
+	f := query(t, db, "SELECT tag FROM parts WHERE seg = 2")
+	if f.NumRows() != 59 { // segment 2 holds 37+11*2 rows
+		t.Errorf("seg=2 rows = %d, want 59", f.NumRows())
+	}
+
+	if info := explain(t, db, "SELECT tag FROM parts WHERE seg = 99"); info.SegmentsPruned != 5 {
+		t.Errorf("seg=99 pruned = %d, want 5", info.SegmentsPruned)
+	}
+	if f := query(t, db, "SELECT tag FROM parts WHERE seg = 99"); f.NumRows() != 0 {
+		t.Errorf("seg=99 rows = %d, want 0", f.NumRows())
+	}
+
+	// AND narrows: a provably-true conjunct keeps the decision on seg.
+	if info := explain(t, db, "SELECT tag FROM parts WHERE seg = 2 AND cnt > -10000"); info.SegmentsPruned != 4 {
+		t.Errorf("seg=2 AND cnt>-10000 pruned = %d, want 4", info.SegmentsPruned)
+	}
+	// OR widens: two satisfiable alternatives keep two segments.
+	if info := explain(t, db, "SELECT tag FROM parts WHERE seg = 2 OR seg = 4"); info.SegmentsPruned != 3 {
+		t.Errorf("seg=2 OR seg=4 pruned = %d, want 3", info.SegmentsPruned)
+	}
+	if info := explain(t, db, "SELECT tag FROM parts WHERE seg IN (1, 3)"); info.SegmentsPruned != 3 {
+		t.Errorf("seg IN (1,3) pruned = %d, want 3", info.SegmentsPruned)
+	}
+	if info := explain(t, db, "SELECT tag FROM parts WHERE seg BETWEEN 3 AND 4"); info.SegmentsPruned != 3 {
+		t.Errorf("seg BETWEEN 3 AND 4 pruned = %d, want 3", info.SegmentsPruned)
+	}
+	// An impossible float range prunes everything even with NaNs present
+	// (NaN < c is false), …
+	if info := explain(t, db, "SELECT tag FROM parts WHERE val < -1e30"); info.SegmentsPruned != 5 {
+		t.Errorf("val<-1e30 pruned = %d, want 5", info.SegmentsPruned)
+	}
+	// … but <= must NOT prune on the false side while NaNs exist: the
+	// engine's cmp quirk makes NaN <= c true for every c.
+	if info := explain(t, db, "SELECT tag FROM parts WHERE val <= 1e30"); info.SegmentsPruned != 0 {
+		t.Errorf("val<=1e30 pruned = %d, want 0", info.SegmentsPruned)
+	}
+	if f := query(t, db, "SELECT tag FROM parts WHERE val <= 1e30"); f.NumRows() != 295 {
+		t.Errorf("val<=1e30 rows = %d, want all 295 (NaN rows satisfy <=)", f.NumRows())
+	}
+
+	// Non-vectorizable statements report the fallback and its reason.
+	info = explain(t, db, "SELECT tag FROM parts WHERE grp IN (tag, 1)")
+	if info.Backend != "treewalk" || info.FallbackReason == "" {
+		t.Errorf("fallback explain = %+v, want treewalk with a reason", info)
+	}
+}
+
+func TestVectorizedMetrics(t *testing.T) {
+	db := diffDB(t)
+	reg := telemetry.NewRegistry()
+	lbl := telemetry.L("ensemble", "t")
+	db.SetMetrics(reg, lbl)
+
+	if _, err := db.Query("SELECT tag FROM parts WHERE seg = 2 AND cnt % 2 = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("infera_sql_segments_pruned_total", lbl).Value(); got != 4 {
+		t.Errorf("segments_pruned = %d, want 4", got)
+	}
+	if got := reg.Counter("infera_sql_rows_filtered_total", lbl).Value(); got <= 0 || got >= 59 {
+		t.Errorf("rows_filtered = %d, want in (0, 59)", got)
+	}
+	if got := reg.Counter("infera_sql_scanned_bytes_total", lbl).Value(); got <= 0 {
+		t.Errorf("scanned_bytes = %d, want > 0", got)
+	}
+	vecHist := reg.Histogram("infera_sql_query_seconds", nil, lbl, telemetry.L("backend", "vectorized"))
+	treeHist := reg.Histogram("infera_sql_query_seconds", nil, lbl, telemetry.L("backend", "treewalk"))
+	if vecHist.Count() != 1 || treeHist.Count() != 0 {
+		t.Errorf("histogram counts = vec %d tree %d, want 1/0", vecHist.Count(), treeHist.Count())
+	}
+
+	// A forced tree-walk run lands on the other series.
+	if _, err := db.QueryBackend("SELECT tag FROM parts LIMIT 1", BackendTreeWalk); err != nil {
+		t.Fatal(err)
+	}
+	if vecHist.Count() != 1 || treeHist.Count() != 1 {
+		t.Errorf("after treewalk: histogram counts = vec %d tree %d, want 1/1", vecHist.Count(), treeHist.Count())
+	}
+}
+
+// TestVectorizedEmptyComputedKind pins the projection parity rule: a
+// computed column over zero surviving rows collapses to Int, exactly like
+// the row engine's valuesToColumn over no values.
+func TestVectorizedEmptyComputedKind(t *testing.T) {
+	db := diffDB(t)
+	f, err := db.QueryBackend("SELECT tag + 1 AS x, name FROM parts WHERE 1 = 0", BackendVectorized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 {
+		t.Fatalf("rows = %d", f.NumRows())
+	}
+	if k := f.MustColumn("x").Kind; k != dataframe.Int {
+		t.Errorf("computed empty column kind = %v, want Int", k)
+	}
+	if k := f.MustColumn("name").Kind; k != dataframe.String {
+		t.Errorf("pass-through empty column kind = %v, want String", k)
+	}
+}
+
+// TestTopKStability: with heavy key ties, the bounded heap must return the
+// same rows in the same order as the tree-walk's stable full sort.
+func TestTopKStability(t *testing.T) {
+	dbTW, dbVec := diffDB(t), diffDB(t)
+	for _, sql := range []string{
+		"SELECT tag FROM parts ORDER BY grp LIMIT 10",
+		"SELECT tag FROM parts ORDER BY grp DESC LIMIT 10",
+		"SELECT tag FROM parts ORDER BY seg DESC LIMIT 15",
+		"SELECT tag, name FROM parts ORDER BY name LIMIT 25",
+		"SELECT tag FROM parts ORDER BY val LIMIT 300",
+	} {
+		runDiff(t, dbTW, dbVec, sql)
+	}
+}
+
+func TestLikeMatchTable(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_", false},
+		{"abc", "%c", true},
+		{"abc", "ab%", true},
+		{"abc", "%b%", true},
+		{"abc", "%d%", false},
+		{"abc", "abc%", true},
+		{"abc", "%abc", true},
+		{"abc", "%%a%%b%%c%%", true},
+		{"aXbYc", "a%b%c", true},
+		{"mississippi", "%iss%pi", true},
+		{"mississippi", "%issp%", false},
+		{"mississippi", "%iss%ppi", true},
+		{"a%b", "a%b", true}, // % in data happens to match literally via wildcard
+		{"", "_", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// TestLikeMatchPathological guards the satellite fix: the old recursive %
+// expansion was O(2^n) on alternating patterns; the two-pointer rewrite
+// must answer well inside the timeout on both matching and non-matching
+// adversarial inputs.
+func TestLikeMatchPathological(t *testing.T) {
+	type tc struct {
+		s, p string
+		want bool
+	}
+	cases := []tc{
+		{strings.Repeat("a", 64) + "b", strings.Repeat("%a", 24) + "%", true},
+		{strings.Repeat("a", 64), strings.Repeat("a%", 32) + "b", false},
+		{strings.Repeat("ab", 40), strings.Repeat("%a", 30) + "%c", false},
+	}
+	done := make(chan []bool, 1)
+	go func() {
+		got := make([]bool, len(cases))
+		for i, c := range cases {
+			got[i] = likeMatch(c.s, c.p)
+		}
+		done <- got
+	}()
+	select {
+	case got := <-done:
+		for i, c := range cases {
+			if got[i] != c.want {
+				t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got[i], c.want)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("likeMatch did not terminate on pathological patterns (exponential backtracking regression)")
+	}
+}
