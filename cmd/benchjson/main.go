@@ -1,29 +1,54 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so CI can record each PR's benchmark metrics as an
 // artifact (BENCH_<n>.json) and the perf trajectory of the hot paths —
-// staging decode bytes, zero-copy ingestion allocations, cached-ask floor
-// — accumulates in a machine-readable form instead of scrolling away in
-// build logs.
+// staging decode bytes, zero-copy ingestion allocations, cached-ask floor,
+// routed fleet throughput — accumulates in a machine-readable form instead
+// of scrolling away in build logs.
 //
 // Usage:
 //
 //	go test -run NONE -bench 'Staging|ZeroCopy' -benchtime 1x . | benchjson > BENCH_5.json
+//	benchjson -table BENCH_*.json > BENCH_TABLE.md
 //
 // Each benchmark line becomes one object keyed by benchmark name (the
 // -cpu suffix stripped), holding ns/op plus every custom b.ReportMetric
 // unit verbatim.
+//
+// -table reads previously produced documents and renders the whole BENCH
+// trajectory as one paper-ready markdown table, one row per benchmark
+// entry, with the PR number parsed from each filename (BENCH_8.json → 8).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 func main() {
+	table := flag.Bool("table", false, "render the given BENCH_*.json files as a markdown trajectory table")
+	flag.Parse()
+	if *table {
+		if err := renderTable(os.Stdout, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := convert(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func convert() error {
 	results := map[string]map[string]float64{}
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -62,8 +87,7 @@ func main() {
 		results[name] = metrics
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	// Emit in first-seen order via an ordered wrapper.
 	out := make([]map[string]any, 0, len(order))
@@ -72,8 +96,80 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return enc.Encode(out)
+}
+
+type benchEntry struct {
+	Benchmark string             `json:"benchmark"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+var prFromName = regexp.MustCompile(`BENCH_(\d+)`)
+
+// renderTable writes the accumulated BENCH documents as one markdown
+// table: PR, benchmark (the Benchmark prefix stripped), wall time per op,
+// and every custom metric the entry carries.
+func renderTable(w *os.File, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-table needs BENCH_*.json file arguments")
 	}
+	sort.Strings(paths) // BENCH_5 < BENCH_6 < ... for single-digit PRs
+	fmt.Fprintln(w, "| PR | Benchmark | time/op | metrics |")
+	fmt.Fprintln(w, "|---:|---|---:|---|")
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var doc []benchEntry
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: not a benchjson document: %w", path, err)
+		}
+		pr := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if m := prFromName.FindStringSubmatch(path); m != nil {
+			pr = m[1]
+		}
+		for _, b := range doc {
+			name := strings.TrimPrefix(b.Benchmark, "Benchmark")
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+				pr, name, formatNs(b.Metrics["ns/op"]), formatMetrics(b.Metrics))
+		}
+	}
+	return nil
+}
+
+// formatNs renders ns/op at human scale (µs/ms/s past 10 of each unit).
+func formatNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "—"
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// formatMetrics joins the custom metrics (everything but ns/op) as sorted
+// key=value pairs.
+func formatMetrics(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k != "ns/op" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, strconv.FormatFloat(m[k], 'g', 4, 64))
+	}
+	if len(parts) == 0 {
+		return "—"
+	}
+	return strings.Join(parts, ", ")
 }

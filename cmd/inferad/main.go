@@ -166,8 +166,17 @@ func main() {
 		provBytes = flag.Int64("provenance-max-bytes", 0, "total on-disk session-trail budget enforced at shard close, in bytes (0 = unlimited)")
 		keepDBs   = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
 		verbose   = flag.Bool("v", false, "log per-request progress")
+		route     = flag.String("route", "", "run as a fleet router over these comma-separated node specs (URL or name=URL) instead of serving locally (same as cmd/inferaroute)")
+		nodeID    = flag.String("node-id", "", "fleet identity reported on /healthz (default: host:pid)")
+		maxAsks   = flag.Int("max-concurrent-asks", 0, "node-wide cap on concurrently executing asks across all shards (0 = uncapped)")
+		simLat    = flag.Duration("sim-latency", 0, "per-model-call latency injected into the simulated LLM (models real API round trips; 0 = pure CPU)")
 	)
 	flag.Parse()
+	if *route != "" {
+		// Router mode: no local shards, just the fleet proxy tier.
+		runRouter(*addr, *route, *verbose)
+		return
+	}
 	if len(ensembles.names) == 0 {
 		log.Fatal("inferad: at least one -ensemble is required (generate one with haccgen)")
 	}
@@ -194,11 +203,17 @@ func main() {
 			ProvenanceMaxBytes: *provBytes,
 			KeepStagingDBs:     *keepDBs,
 			NewModel: func(seed int64) llm.Client {
-				return llm.NewSim(llm.SimConfig{Seed: seed})
+				return llm.NewSim(llm.SimConfig{Seed: seed, Latency: *simLat})
 			},
 		},
-		WorkDir:       *work,
-		MaxLiveShards: *maxShards,
+		WorkDir:           *work,
+		MaxLiveShards:     *maxShards,
+		NodeID:            *nodeID,
+		MaxConcurrentAsks: *maxAsks,
+	}
+	if cfg.NodeID == "" {
+		host, _ := os.Hostname()
+		cfg.NodeID = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"infera/internal/fleet"
+	"infera/internal/telemetry"
+)
+
+// runRouter serves the -route mode: this process becomes a fleet router
+// over the given comma-separated node specs ("http://host:port" or
+// "name=http://host:port"; the thin alias of cmd/inferaroute, which
+// exposes the full tuning surface).
+func runRouter(addr, nodes string, verbose bool) {
+	cfg := fleet.Config{Metrics: telemetry.Default()}
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			cfg.Nodes = append(cfg.Nodes, n)
+		}
+	}
+	if len(cfg.Nodes) == 0 {
+		log.Fatal("inferad: -route needs at least one node base URL")
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	rt := fleet.New(cfg)
+	if err := rt.Start(addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("inferad: routing %d node(s) [%s] on http://%s/v1/ensembles",
+		len(cfg.Nodes), strings.Join(cfg.Nodes, ", "), rt.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("inferad: router shutting down")
+	if err := rt.Close(); err != nil {
+		log.Printf("inferad: router close: %v", err)
+	}
+}

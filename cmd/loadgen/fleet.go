@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+
+	"infera/internal/client"
+	"infera/internal/fleet"
+	"infera/internal/llm"
+	"infera/internal/service"
+	"infera/internal/telemetry"
+)
+
+// fleetNode is one in-process inferad node of a -fleet harness.
+type fleetNode struct {
+	reg *service.Registry
+	srv *service.Server
+}
+
+func (n *fleetNode) base() string { return "http://" + n.srv.Addr() }
+
+// fleetHarness is the -fleet mode topology: N in-process nodes behind one
+// router, sharing a work root so failover successors revive persisted
+// answer caches.
+type fleetHarness struct {
+	nodes         []*fleetNode
+	router        *fleet.Router
+	routerMetrics *telemetry.Registry
+	killed        bool
+}
+
+// spawnFleet builds the harness. nodeCap bounds concurrently executing
+// asks per node (the node's real capacity); simLatency injects per-model-
+// call latency so asks are latency-bound like production LLM traffic —
+// without it the sim is pure CPU and multi-node throughput is bounded by
+// local cores, not fleet size.
+func spawnFleet(n int, baseSeed int64, nodeCap int, simLatency time.Duration) (*fleetHarness, error) {
+	workRoot, err := os.MkdirTemp("", "loadgen-fleet-*")
+	if err != nil {
+		return nil, err
+	}
+	h := &fleetHarness{routerMetrics: telemetry.NewRegistry()}
+	for i := 0; i < n; i++ {
+		reg := service.NewRegistry(service.RegistryConfig{
+			Defaults: service.Config{
+				Seed: baseSeed,
+				NewModel: func(seed int64) llm.Client {
+					return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9, Latency: simLatency})
+				},
+				ApprovalTimeout: 60 * time.Second,
+			},
+			WorkDir:           workRoot,
+			NodeID:            fmt.Sprintf("lg-node-%d", i),
+			MaxConcurrentAsks: nodeCap,
+		})
+		srv := service.NewServer(reg)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			h.close()
+			return nil, fmt.Errorf("start node %d: %w", i, err)
+		}
+		h.nodes = append(h.nodes, &fleetNode{reg: reg, srv: srv})
+	}
+	// Named specs pin ring identity to the node index, so shard→node
+	// placement is deterministic run to run even though the listen ports
+	// are ephemeral — nodes=1 and nodes=2 runs stay comparable.
+	specs := make([]string, len(h.nodes))
+	for i, nd := range h.nodes {
+		specs[i] = fmt.Sprintf("lg-node-%d=%s", i, nd.base())
+	}
+	h.router = fleet.New(fleet.Config{
+		Nodes:         specs,
+		ProbeInterval: 100 * time.Millisecond,
+		Metrics:       h.routerMetrics,
+	})
+	if err := h.router.Start("127.0.0.1:0"); err != nil {
+		h.close()
+		return nil, fmt.Errorf("start router: %w", err)
+	}
+	return h, nil
+}
+
+// killOne crash-kills the last node — listener and in-flight connections
+// severed, no drain — to exercise failover under load.
+func (h *fleetHarness) killOne() {
+	if h.killed || len(h.nodes) < 2 {
+		return
+	}
+	h.killed = true
+	victim := h.nodes[len(h.nodes)-1]
+	fmt.Fprintf(os.Stderr, "loadgen: killing node %s mid-run\n", victim.base())
+	_ = victim.srv.Abort()
+}
+
+func (h *fleetHarness) close() {
+	if h.router != nil {
+		_ = h.router.Close()
+	}
+	for i, n := range h.nodes {
+		if h.killed && i == len(h.nodes)-1 {
+			// The crashed node's listener is already gone; still close the
+			// registry so its goroutines stop.
+			_ = n.reg.Close()
+			continue
+		}
+		_ = n.reg.Close()
+		_ = n.srv.Close()
+	}
+}
+
+// fleetAskPhases merges the ask-phase histograms scraped from every
+// still-alive node — the router's Prometheus endpoint carries only the
+// infera_fleet_* series, so the observability gate reads the members.
+func (h *fleetHarness) fleetAskPhases() ([]string, error) {
+	seen := map[string]bool{}
+	for i, n := range h.nodes {
+		if h.killed && i == len(h.nodes)-1 {
+			continue
+		}
+		phases, err := askPhases(client.New(n.srv.Addr()))
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", n.base(), err)
+		}
+		for _, p := range phases {
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+var forwardsRe = regexp.MustCompile(`infera_fleet_forwards_total\{[^}]*\} ([0-9]+)`)
+
+// routerForwards totals the per-node forward counters from the router's
+// Prometheus endpoint — proof the load actually crossed the proxy.
+func (h *fleetHarness) routerForwards() (int64, error) {
+	body, err := client.New(h.router.Addr()).PrometheusMetrics()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, m := range forwardsRe.FindAllStringSubmatch(body, -1) {
+		n, _ := strconv.ParseInt(m[1], 10, 64)
+		total += n
+	}
+	return total, nil
+}
+
+var nodesLabelRe = regexp.MustCompile(`/nodes=(\d+)(/|$)`)
+
+// compareFleet enforces the BENCH_8 acceptance gate: mean throughput of
+// the nodes=2 cells must be at least minSpeedup x the nodes=1 cells, over
+// the loadgen cells whose grid name matches gridName (the cache-miss fleet
+// grid; chaos cells carry a different name and are excluded).
+func compareFleet(path, gridName string, minSpeedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := parseBenchDoc(data)
+	if err != nil {
+		return err
+	}
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	prefix := "BenchmarkLoadgen/" + gridName + "/"
+	for _, b := range doc {
+		if len(b.Benchmark) < len(prefix) || b.Benchmark[:len(prefix)] != prefix {
+			continue
+		}
+		m := nodesLabelRe.FindStringSubmatch(b.Benchmark)
+		if m == nil {
+			continue
+		}
+		nodes, _ := strconv.Atoi(m[1])
+		sums[nodes] += b.Metrics["asks/s"]
+		counts[nodes]++
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		return fmt.Errorf("need both nodes=1 and nodes=2 cells for grid %q (have %v)", gridName, counts)
+	}
+	one := sums[1] / float64(counts[1])
+	two := sums[2] / float64(counts[2])
+	speedup := two / one
+	fmt.Fprintf(os.Stderr, "loadgen: fleet speedup %.2fx (1 node %.3f asks/s, 2 nodes %.3f asks/s)\n", speedup, one, two)
+	if speedup < minSpeedup {
+		return fmt.Errorf("routed 2-node throughput %.3f asks/s is only %.2fx the 1-node %.3f asks/s (want >= %.2fx)",
+			two, speedup, one, minSpeedup)
+	}
+	return nil
+}
+
+// benchEntry mirrors benchjson's output shape.
+type benchEntry struct {
+	Benchmark string             `json:"benchmark"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+func parseBenchDoc(data []byte) ([]benchEntry, error) {
+	var doc []benchEntry
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("not a benchjson document: %w", err)
+	}
+	return doc, nil
+}

@@ -15,14 +15,25 @@
 //	loadgen -grid grid.json -spawn -gen
 //	    same, generating a small throwaway ensemble first — the
 //	    zero-setup CI smoke configuration.
+//	loadgen -grid grid.json -fleet N -gen
+//	    start N in-process inferad nodes behind an internal/fleet router
+//	    (shared work root, sim latency from -sim-latency, per-node ask cap
+//	    from -node-cap) and drive the router with a retrying client. Cell
+//	    lines gain a nodes=N label. -kill-one crash-kills one node a third
+//	    of the way through the grid — the zero-failed-asks chaos run.
 //	loadgen -validate BENCH.json
 //	    schema-check a benchjson document produced by a previous run:
 //	    every loadgen cell must carry p50/p95/p99 and throughput metrics.
+//	loadgen -compare-fleet BENCH.json -min-speedup 1.5
+//	    compare nodes=1 vs nodes=2 throughput in a bench document and fail
+//	    below the minimum speedup — the routed-scaling acceptance gate.
 //
 // After the grid completes, loadgen scrapes /v1/metrics/prometheus and
 // fails unless at least -min-phases distinct ask phases have recorded
 // latency observations — the observability acceptance gate rides along
-// with every load test.
+// with every load test. In fleet mode the member nodes are scraped (the
+// router's endpoint carries only the infera_fleet_* series) and the run
+// additionally fails if the router forwarded nothing.
 package main
 
 import (
@@ -52,6 +63,10 @@ type Grid struct {
 	// BaseSeed seeds the model streams; ask i in a cell uses BaseSeed so
 	// repeated questions exercise the answer cache.
 	BaseSeed int64 `json:"base_seed"`
+	// UniqueSeeds gives every ask its own seed (BaseSeed offset by cell,
+	// repeat and ask index), defeating the answer cache — the cache-miss
+	// configuration fleet scaling is measured on.
+	UniqueSeeds bool `json:"unique_seeds"`
 	// Questions are asked round-robin. Required.
 	Questions []string `json:"questions"`
 	// Asks per cell (default 4).
@@ -59,7 +74,7 @@ type Grid struct {
 	// Concurrency is the number of client goroutines (default 2).
 	Concurrency int `json:"concurrency"`
 	// Repeats re-runs every cell (default 1); each repeat is its own line.
-	Repeats int `json:"repeats"`
+	Repeats int  `json:"repeats"`
 	Axes    Axes `json:"axes"`
 }
 
@@ -91,6 +106,15 @@ func main() {
 		gen       = flag.Bool("gen", false, "generate a small throwaway ensemble when -ensemble is empty")
 		validate  = flag.String("validate", "", "validate a benchjson BENCH_*.json document and exit")
 		minPhases = flag.Int("min-phases", 4, "fail unless this many ask phases show up in /v1/metrics/prometheus")
+
+		fleetN     = flag.Int("fleet", 0, "spawn this many in-process nodes behind a fleet router and drive the router")
+		nodeCap    = flag.Int("node-cap", 2, "fleet mode: concurrently executing asks per node")
+		simLatency = flag.Duration("sim-latency", 0, "fleet mode: injected per-model-call latency")
+		killOne    = flag.Bool("kill-one", false, "fleet mode: crash-kill one node a third of the way through the grid")
+
+		comparePath = flag.String("compare-fleet", "", "compare nodes=1 vs nodes=2 throughput in a bench document and exit")
+		compareName = flag.String("compare-name", "fleet", "grid name the -compare-fleet cells belong to")
+		minSpeedup  = flag.Float64("min-speedup", 1.5, "minimum nodes=2 / nodes=1 throughput ratio for -compare-fleet")
 	)
 	flag.Parse()
 
@@ -99,6 +123,12 @@ func main() {
 			log.Fatalf("loadgen: validate %s: %v", *validate, err)
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: %s is a valid bench document\n", *validate)
+		return
+	}
+	if *comparePath != "" {
+		if err := compareFleet(*comparePath, *compareName, *minSpeedup); err != nil {
+			log.Fatalf("loadgen: compare-fleet %s: %v", *comparePath, err)
+		}
 		return
 	}
 	if *gridPath == "" {
@@ -128,6 +158,20 @@ func main() {
 	}
 
 	base := *addr
+	var harness *fleetHarness
+	if *fleetN > 0 {
+		if base != "" || *spawn {
+			log.Fatal("loadgen: -fleet is mutually exclusive with -addr and -spawn")
+		}
+		h, err := spawnFleet(*fleetN, grid.BaseSeed, *nodeCap, *simLatency)
+		if err != nil {
+			log.Fatalf("loadgen: spawn fleet: %v", err)
+		}
+		defer h.close()
+		harness = h
+		base = h.router.Addr()
+		fmt.Fprintf(os.Stderr, "loadgen: spawned %d-node fleet behind router %s\n", *fleetN, base)
+	}
 	if *spawn {
 		if base != "" {
 			log.Fatal("loadgen: -spawn and -addr are mutually exclusive")
@@ -160,6 +204,11 @@ func main() {
 	}
 
 	cli := client.New(base)
+	if harness != nil {
+		// The router fails asks over on node death; the client retry layer
+		// covers the narrow window where the failover itself loses a race.
+		cli = client.NewRouted(base)
+	}
 	if err := cli.WaitReady(30 * time.Second); err != nil {
 		log.Fatalf("loadgen: daemon not ready: %v", err)
 	}
@@ -167,9 +216,32 @@ func main() {
 	cells := grid.cells()
 	fmt.Fprintf(os.Stderr, "loadgen: grid %q: %d cells x %d repeats, %d asks/cell\n",
 		grid.Name, len(cells), grid.Repeats, grid.Asks)
+
+	// The chaos hook crash-kills one fleet node once a third of the total
+	// asks have completed — mid-cell, with asks in flight.
+	var afterAsk func()
+	if *killOne {
+		if harness == nil || *fleetN < 2 {
+			log.Fatal("loadgen: -kill-one needs -fleet >= 2")
+		}
+		killAt := int64(len(cells)*grid.Repeats*grid.Asks) / 3
+		var done int64
+		var once sync.Once
+		var mu sync.Mutex
+		afterAsk = func() {
+			mu.Lock()
+			done++
+			fire := done >= killAt
+			mu.Unlock()
+			if fire {
+				once.Do(harness.killOne)
+			}
+		}
+	}
+
 	for ci, c := range cells {
 		for rep := 0; rep < grid.Repeats; rep++ {
-			line, err := runCell(cli, dir, grid, c, ci, rep)
+			line, err := runCell(cli, dir, grid, c, ci, rep, *fleetN, afterAsk)
 			if err != nil {
 				log.Fatalf("loadgen: cell %d rep %d: %v", ci, rep, err)
 			}
@@ -177,13 +249,28 @@ func main() {
 		}
 	}
 
-	phases, err := askPhases(cli)
+	var phases []string
+	if harness != nil {
+		phases, err = harness.fleetAskPhases()
+	} else {
+		phases, err = askPhases(cli)
+	}
 	if err != nil {
 		log.Fatalf("loadgen: scrape prometheus: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: prometheus shows ask-phase histograms for %v\n", phases)
 	if len(phases) < *minPhases {
 		log.Fatalf("loadgen: only %d ask phases recorded (%v), want >= %d", len(phases), phases, *minPhases)
+	}
+	if harness != nil {
+		forwards, err := harness.routerForwards()
+		if err != nil {
+			log.Fatalf("loadgen: scrape router prometheus: %v", err)
+		}
+		if forwards == 0 {
+			log.Fatal("loadgen: router forwarded zero requests — the load bypassed the proxy")
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: router forwarded %d requests\n", forwards)
 	}
 }
 
@@ -244,7 +331,9 @@ func (g Grid) cells() []cell {
 // runCell registers the cell's shards, fires the asks, and returns one
 // bench-format line. Shard names are cell-unique so repeated cells on a
 // long-lived daemon never collide; shards are unregistered afterwards.
-func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep int) (string, error) {
+// nodes > 0 adds a nodes= label to the line (fleet mode); afterAsk, when
+// non-nil, runs once per completed ask (the chaos-kill hook).
+func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep, nodes int, afterAsk func()) (string, error) {
 	names := make([]string, c.shards)
 	for i := range names {
 		names[i] = fmt.Sprintf("lg-%s-c%d-r%d-s%d", g.Name, ci, rep, i)
@@ -277,9 +366,15 @@ func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep int) (strin
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				seed := g.BaseSeed
+				if g.UniqueSeeds {
+					// Distinct per (cell, repeat, ask) so no ask anywhere in
+					// the grid can hit another's cache entry.
+					seed += int64(ci)*1_000_000 + int64(rep)*10_000 + int64(i)
+				}
 				req := service.AskRequest{
 					Question: g.Questions[i%len(g.Questions)],
-					Seed:     g.BaseSeed,
+					Seed:     seed,
 				}
 				eid := names[i%len(names)]
 				askStart := time.Now()
@@ -314,6 +409,9 @@ func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep int) (strin
 					}
 				}
 				mu.Unlock()
+				if afterAsk != nil {
+					afterAsk()
+				}
 			}
 		}()
 	}
@@ -339,6 +437,9 @@ func runCell(cli *client.Client, dir string, g Grid, c cell, ci, rep int) (strin
 	}
 	name := fmt.Sprintf("BenchmarkLoadgen/%s/shards=%d/workers=%d/cache=%d/interactive=%g/rep=%d",
 		g.Name, c.shards, c.workers, c.cache, c.interactive, rep)
+	if nodes > 0 {
+		name += fmt.Sprintf("/nodes=%d", nodes)
+	}
 	return fmt.Sprintf("%s %d %.0f ns/op %.6f p50-s %.6f p95-s %.6f p99-s %.3f asks/s %d ok-asks %d err-asks %d cached-asks",
 		name, g.Asks, mean*1e9,
 		percentile(ok, 0.50), percentile(ok, 0.95), percentile(ok, 0.99),
@@ -390,12 +491,9 @@ func validateBench(path string) error {
 	if err != nil {
 		return err
 	}
-	var doc []struct {
-		Benchmark string             `json:"benchmark"`
-		Metrics   map[string]float64 `json:"metrics"`
-	}
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("not a benchjson document: %w", err)
+	doc, err := parseBenchDoc(data)
+	if err != nil {
+		return err
 	}
 	if len(doc) == 0 {
 		return fmt.Errorf("empty benchmark list")

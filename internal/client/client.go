@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,11 +20,13 @@ import (
 	"infera/internal/service"
 )
 
-// Client talks to one inferad daemon. The zero value is not usable; create
+// Client talks to one inferad daemon — or a fleet router, which serves the
+// same /v1 surface (see NewRouted). The zero value is not usable; create
 // with New.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *RetryPolicy // nil = no retry (the default)
 }
 
 // New returns a client for the daemon at base ("host:port" or a full
@@ -47,6 +50,9 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // decoded error body (or raw text)
+	// RetryAfter is the response's parsed Retry-After delay (0 if absent)
+	// — honored by WithRetry clients before the next attempt.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -59,9 +65,38 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
 }
 
-// do runs one JSON round-trip. in == nil sends no body; out == nil ignores
-// the response body.
+// do runs one JSON round-trip, transparently retrying idempotent GETs when
+// the client opted in via WithRetry. in == nil sends no body; out == nil
+// ignores the response body.
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doRetry(method, path, in, out, method == http.MethodGet)
+}
+
+// doRetry runs the round-trip with up to MaxAttempts tries when retryable
+// and a RetryPolicy is set; otherwise exactly one.
+func (c *Client) doRetry(method, path string, in, out any, retryable bool) error {
+	attempts := 1
+	if retryable && c.retry != nil {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(c.retry.backoffDelay(i, lastErr))
+		}
+		err := c.doOnce(method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryableError(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOnce(method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -102,7 +137,13 @@ func decodeAPIError(resp *http.Response) *APIError {
 	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	ae := &APIError{Status: resp.StatusCode, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 func eidPath(eid string, parts ...string) string {
@@ -150,10 +191,13 @@ func (c *Client) Ensemble(eid string) (service.ShardInfo, error) {
 }
 
 // Ask routes one question to shard eid, blocking until the answer (or a
-// cache hit) is ready.
+// cache hit) is ready. With WithRetry enabled, non-interactive asks retry
+// on transient failures: they are deterministic and answer-cache-keyed, so
+// a replay either hits the cache or recomputes the identical answer —
+// interactive asks (live sessions with approval state) never retry.
 func (c *Client) Ask(eid string, req service.AskRequest) (*service.AskResult, error) {
 	var out service.AskResult
-	if err := c.do(http.MethodPost, eidPath(eid, "ask"), req, &out); err != nil {
+	if err := c.doRetry(http.MethodPost, eidPath(eid, "ask"), req, &out, !req.Interactive); err != nil {
 		return nil, err
 	}
 	return &out, nil

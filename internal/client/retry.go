@@ -1,0 +1,90 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy bounds the client's transparent retry of transient failures.
+// Zero fields take the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the jittered exponential backoff between attempts
+	// (default 100ms); MaxDelay caps it (default 2s). A Retry-After header
+	// on the failed response overrides the computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// WithRetry opts the client into bounded retry with jittered exponential
+// backoff for idempotent GETs and non-interactive (cache-hit-eligible)
+// asks, on transient transport failures (connection refused, reset) and
+// 502/503/504 responses — the failure modes a fleet router surfaces while
+// a node crash is being failed over. Off by default: POSTs with side
+// effects (plan decisions, registration through code paths that care about
+// exactly-once) and interactive asks are never retried.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	pp := p.withDefaults()
+	c.retry = &pp
+	return c
+}
+
+// NewRouted returns a client for a fleet router at base: a regular client
+// with the default RetryPolicy enabled, so brief node failovers surface as
+// slower answers instead of errors.
+func NewRouted(base string) *Client {
+	return New(base).WithRetry(RetryPolicy{})
+}
+
+// retryableError reports whether err is worth another attempt: transport
+// failures (the daemon or router vanished mid-request) and the transient
+// gateway statuses. 4xx means the request itself is wrong; 500/501 means a
+// non-transient server condition.
+func retryableError(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Anything else from do() at this layer is a transport error
+	// (connection refused/reset, unexpected EOF) — the class failover
+	// produces.
+	return err != nil
+}
+
+// backoffDelay computes the pause before attempt n (1-based count of
+// failures so far): a Retry-After from the server wins, otherwise
+// BaseDelay·2^(n-1) capped at MaxDelay, jittered ±50% so a herd of
+// retrying clients doesn't re-arrive in lockstep.
+func (p RetryPolicy) backoffDelay(n int, lastErr error) time.Duration {
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"time"
 
 	"infera/internal/hacc"
 )
@@ -35,6 +36,13 @@ type SimConfig struct {
 	BinaryQA bool
 	// QAFalseNegRate is the binary mode's false-negative probability.
 	QAFalseNegRate float64
+	// Latency, when positive, sleeps this long on every Complete call,
+	// modeling the wall-clock cost of a real LLM API round trip. The sim
+	// is otherwise pure CPU, which makes ask latency scale with local
+	// cores instead of (as in production) with upstream token throughput —
+	// fleet benchmarks set this so multi-node capacity measurements
+	// reflect the latency-bound regime real deployments live in.
+	Latency time.Duration
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -103,6 +111,9 @@ func (m *SimModel) ContextWindow() int { return m.cfg.Window }
 
 // Complete dispatches on the request skill.
 func (m *SimModel) Complete(req Request) (Response, error) {
+	if m.cfg.Latency > 0 {
+		time.Sleep(m.cfg.Latency)
+	}
 	promptTokens := CountTokens(req.System) + CountTokens(req.Prompt)
 	if promptTokens > m.cfg.Window {
 		return Response{}, &ContextWindowError{Tokens: promptTokens, Window: m.cfg.Window}

@@ -34,7 +34,7 @@ import (
 //	GET    /v1/ensembles/{eid}/metrics                   -> Metrics (one shard)
 //	GET    /v1/metrics                                   -> RegistryMetrics (aggregate)
 //	GET    /v1/metrics/prometheus                        -> Prometheus text exposition (fleet-wide, ensemble=<shard> labels)
-//	GET    /healthz                                      -> "ok"
+//	GET    /healthz                                      -> HealthInfo (node identity, shard counts, uptime)
 //
 // The pre-registry flat routes — POST /ask, GET /sessions[/{id}[/provenance]]
 // and GET /metrics — survive as deprecated aliases onto the registry's
@@ -68,7 +68,9 @@ func NewServer(reg *Registry) *Server {
 	})
 	mux.HandleFunc("GET /v1/metrics/prometheus", s.handlePrometheus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// JSON node detail (identity, shard counts, uptime) for fleet
+		// probers; plain liveness checks only need the 200.
+		sandbox.WriteJSON(w, s.reg.Health())
 	})
 	// Legacy aliases: the flat single-ensemble API, routed to the default
 	// shard. Deprecated — new clients should use /v1/ensembles/{eid}/...;
@@ -127,6 +129,13 @@ func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	return s.http.Shutdown(ctx)
+}
+
+// Abort hard-closes the server: the listener and every active connection
+// die immediately, in-flight requests included. This simulates a node
+// crash for fleet failover tests — production shutdown is Close.
+func (s *Server) Abort() error {
+	return s.http.Close()
 }
 
 // errorBody is the wire form of a failed request.

@@ -40,6 +40,8 @@ type Registry struct {
 	// retired accumulates the final counters of every closed shard
 	// incarnation, so aggregate metrics survive eviction/revival cycles.
 	retired ShardTotals
+
+	started time.Time
 }
 
 // RegistryConfig configures a Registry.
@@ -61,6 +63,16 @@ type RegistryConfig struct {
 	// Logf receives progress lines when set (also forwarded to shards that
 	// don't set their own).
 	Logf func(format string, args ...any)
+	// NodeID names this process in a fleet — surfaced in the /healthz
+	// detail and in the router's fleet status. Empty is fine for
+	// single-node daemons.
+	NodeID string
+	// MaxConcurrentAsks, when positive, caps ask execution concurrency
+	// across ALL shards in this process: one semaphore is shared by every
+	// shard's worker pool (Config.AskSlots), so the per-shard Workers
+	// setting governs queue ownership while this governs how many asks a
+	// node actually executes at once.
+	MaxConcurrentAsks int
 }
 
 // DefaultMaxLiveShards is the live-shard budget when RegistryConfig leaves
@@ -206,13 +218,54 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	if cfg.Defaults.Logf == nil {
 		cfg.Defaults.Logf = cfg.Logf
 	}
-	return &Registry{cfg: cfg, shards: map[string]*shard{}}
+	if cfg.MaxConcurrentAsks > 0 && cfg.Defaults.AskSlots == nil {
+		cfg.Defaults.AskSlots = make(chan struct{}, cfg.MaxConcurrentAsks)
+	}
+	return &Registry{cfg: cfg, shards: map[string]*shard{}, started: time.Now()}
 }
 
 // Telemetry exposes the registry all shards record into — the source the
 // Prometheus endpoint encodes.
 func (r *Registry) Telemetry() *telemetry.Registry {
 	return r.cfg.Defaults.Metrics
+}
+
+// HealthInfo is the GET /healthz payload — cheap node detail a fleet
+// router's prober reads on every probe, so it must stay lock-light.
+type HealthInfo struct {
+	Status string `json:"status"`
+	// Node is this process's fleet identity (RegistryConfig.NodeID; empty
+	// for single-node daemons).
+	Node string `json:"node,omitempty"`
+	// Shards / Live count registered and currently-open shards.
+	Shards int `json:"shards"`
+	Live   int `json:"live"`
+	// UptimeSeconds since the registry was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// MaxConcurrentAsks echoes the node-level ask budget (0 = uncapped).
+	MaxConcurrentAsks int `json:"max_concurrent_asks,omitempty"`
+}
+
+// Health snapshots node liveness detail for /healthz.
+func (r *Registry) Health() HealthInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := HealthInfo{
+		Status:            "ok",
+		Node:              r.cfg.NodeID,
+		Shards:            len(r.shards),
+		UptimeSeconds:     time.Since(r.started).Seconds(),
+		MaxConcurrentAsks: r.cfg.MaxConcurrentAsks,
+	}
+	for _, sh := range r.shards {
+		if sh.svc != nil {
+			h.Live++
+		}
+	}
+	if r.closed {
+		h.Status = "closing"
+	}
+	return h
 }
 
 func (r *Registry) logf(format string, args ...any) {
