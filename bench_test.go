@@ -1132,3 +1132,124 @@ func BenchmarkSelectiveIO(b *testing.B) {
 	b.ReportMetric(float64(full), "full-bytes")
 	b.ReportMetric(float64(full)/float64(selective), "reduction-factor")
 }
+
+// BenchmarkTieredRestart measures the tentpole property of the stage
+// cache's disk tier: a restarted process over a populated block store
+// stages its working set by mmap-promoting persisted blocks instead of
+// re-opening and re-decoding the gio sources. Cold = fresh cache over an
+// empty store (every column decodes); warm = fresh cache over the store
+// the previous "process" left behind (every column promotes). Both
+// passes touch every staged value, so lazily faulted pages are paid for
+// inside the timed region. The benchmark fails unless the warm restart
+// stages with zero gio opens, zero decoded bytes, and at least 3x the
+// cold throughput.
+func BenchmarkTieredRestart(b *testing.B) {
+	dir := b.TempDir()
+	const (
+		nfiles = 6
+		nrows  = 200_000
+	)
+	cols := []string{"fof_halo_tag", "fof_halo_mass", "fof_halo_count"}
+	paths := make([]string, nfiles)
+	ints := make([]int64, nrows)
+	floats := make([]float64, nrows)
+	for i := 0; i < nrows; i++ {
+		ints[i] = int64(i)
+		floats[i] = float64(i) / 3
+	}
+	for i := range paths {
+		f := dataframe.MustFromColumns(
+			dataframe.NewInt("fof_halo_tag", ints),
+			dataframe.NewFloat("fof_halo_mass", floats),
+			dataframe.NewFloat("fof_halo_count", floats),
+		)
+		paths[i] = filepath.Join(dir, fmt.Sprintf("restart%d.gio", i))
+		if err := gio.WriteFile(paths[i], f, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// stagePass stages every column of every file and folds the values so
+	// mmap-promoted vectors fault their pages inside the timed region.
+	stagePass := func(c *stage.Cache) float64 {
+		var sum float64
+		for _, p := range paths {
+			f, _, err := c.Columns(p, cols...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, name := range cols {
+				col := f.MustColumn(name)
+				for i := 0; i < col.Len(); i += 512 {
+					switch col.Kind {
+					case dataframe.Int:
+						sum += float64(col.I[i])
+					default:
+						sum += col.F[i]
+					}
+				}
+			}
+		}
+		return sum
+	}
+
+	// Populate the warm store once: the "previous process" decodes the
+	// working set and write-through persists it.
+	warmDir := filepath.Join(dir, "stage-warm")
+	seed := stage.New(1<<30, 4)
+	if err := seed.SetDiskTier(warmDir, 0); err != nil {
+		b.Fatal(err)
+	}
+	want := stagePass(seed)
+	seed.WaitPending()
+	seed.Close()
+
+	var coldNS, warmNS int64
+	var promoted int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldDir := filepath.Join(dir, fmt.Sprintf("stage-cold-%d", i))
+		cold := stage.New(1<<30, 4)
+		if err := cold.SetDiskTier(coldDir, 0); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if got := stagePass(cold); got != want {
+			b.Fatalf("cold pass checksum %v, want %v", got, want)
+		}
+		coldNS += time.Since(start).Nanoseconds()
+		if st := cold.Stats(); st.Opens != int64(nfiles) {
+			b.Fatalf("cold pass must decode from source: opens = %d, want %d", st.Opens, nfiles)
+		}
+		cold.Close()
+
+		warm := stage.New(1<<30, 4)
+		if err := warm.SetDiskTier(warmDir, 0); err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		if got := stagePass(warm); got != want {
+			b.Fatalf("warm pass checksum %v, want %v", got, want)
+		}
+		warmNS += time.Since(start).Nanoseconds()
+		st := warm.Stats()
+		if st.Opens != 0 || st.BytesDecoded != 0 {
+			b.Fatalf("warm restart must not touch the gio decoder: opens = %d, bytes_decoded = %d",
+				st.Opens, st.BytesDecoded)
+		}
+		if st.DiskHits != int64(nfiles*len(cols)) {
+			b.Fatalf("disk_hits = %d, want %d", st.DiskHits, nfiles*len(cols))
+		}
+		promoted = st.PromotedBytes
+		warm.Close()
+	}
+	speedup := float64(coldNS) / float64(warmNS)
+	if speedup < 3 {
+		b.Fatalf("disk-warm restart must stage >= 3x faster than cold, got %.2fx (cold %dms, warm %dms)",
+			speedup, coldNS/1e6, warmNS/1e6)
+	}
+	b.ReportMetric(float64(coldNS)/float64(b.N)/1e6, "cold-ms")
+	b.ReportMetric(float64(warmNS)/float64(b.N)/1e6, "warm-ms")
+	b.ReportMetric(speedup, "restart-speedup")
+	b.ReportMetric(float64(promoted), "promoted-bytes")
+}

@@ -106,6 +106,19 @@ type benchEntry struct {
 
 var prFromName = regexp.MustCompile(`BENCH_(\d+)`)
 
+// prNumber extracts the PR number from a BENCH_<n>.json path.
+func prNumber(path string) (int, bool) {
+	m := prFromName.FindStringSubmatch(path)
+	if m == nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
 // renderTable writes the accumulated BENCH documents as one markdown
 // table: PR, benchmark (the Benchmark prefix stripped), wall time per op,
 // and every custom metric the entry carries.
@@ -113,7 +126,19 @@ func renderTable(w *os.File, paths []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-table needs BENCH_*.json file arguments")
 	}
-	sort.Strings(paths) // BENCH_5 < BENCH_6 < ... for single-digit PRs
+	// Sort by the PR number in the filename, not lexically: BENCH_9 must
+	// render before BENCH_10. Files without a number sort last, by name.
+	sort.SliceStable(paths, func(i, j int) bool {
+		ni, iok := prNumber(paths[i])
+		nj, jok := prNumber(paths[j])
+		if iok != jok {
+			return iok
+		}
+		if iok && ni != nj {
+			return ni < nj
+		}
+		return paths[i] < paths[j]
+	})
 	fmt.Fprintln(w, "| PR | Benchmark | time/op | metrics |")
 	fmt.Fprintln(w, "|---:|---|---:|---|")
 	for _, path := range paths {

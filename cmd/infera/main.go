@@ -44,16 +44,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		ensemble = flag.String("ensemble", "", "ensemble directory (required; see haccgen)")
-		work     = flag.String("work", "", "working directory for staging DBs and provenance (default: temp)")
-		seed     = flag.Int64("seed", 1, "model seed")
-		auto     = flag.Bool("auto", false, "skip plan approval (automated mode)")
-		server   = flag.Bool("server", true, "execute sandbox code over a loopback HTTP server")
-		serve    = flag.Bool("serve", false, "run the concurrent query service instead of the REPL")
-		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address for -serve")
-		stageMB  = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB")
-		statTTL  = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup)")
-		keepDBs  = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
+		ensemble   = flag.String("ensemble", "", "ensemble directory (required; see haccgen)")
+		work       = flag.String("work", "", "working directory for staging DBs and provenance (default: temp)")
+		seed       = flag.Int64("seed", 1, "model seed")
+		auto       = flag.Bool("auto", false, "skip plan approval (automated mode)")
+		server     = flag.Bool("server", true, "execute sandbox code over a loopback HTTP server")
+		serve      = flag.Bool("serve", false, "run the concurrent query service instead of the REPL")
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address for -serve")
+		stageMB    = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB")
+		statTTL    = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup; superseded by -stage-watch)")
+		stageDir   = flag.String("stage-dir", "", "staging-cache disk tier directory; empty disables the persistent block store")
+		stageDisk  = flag.Int64("stage-disk-budget", stage.DefaultDiskBudgetBytes>>20, "disk-tier block store budget, in MB (needs -stage-dir)")
+		stageWatch = flag.Bool("stage-watch", true, "replace the stat-TTL freshness memo with a filesystem watch (exact invalidation, zero hot-path stat syscalls)")
+		stagePref  = flag.Bool("stage-prefetch", true, "prefetch sibling columns and next-step files into the disk tier while a gio file is open (needs -stage-dir)")
+		keepDBs    = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
 	)
 	flag.Parse()
 	if *ensemble == "" {
@@ -61,6 +65,17 @@ func main() {
 	}
 	stage.Shared().SetBudget(*stageMB << 20)
 	stage.Shared().SetStatTTL(*statTTL)
+	stage.Shared().SetPrefetch(*stagePref)
+	if *stageDir != "" {
+		if err := stage.Shared().SetDiskTier(*stageDir, *stageDisk<<20); err != nil {
+			log.Fatalf("infera: stage disk tier: %v", err)
+		}
+	}
+	if *stageWatch {
+		if err := stage.Shared().SetWatch(true); err != nil {
+			log.Printf("infera: stage watch unavailable, falling back to stat-TTL freshness: %v", err)
+		}
+	}
 
 	if *serve {
 		runService(*ensemble, *work, *addr, *seed, *server, *keepDBs)

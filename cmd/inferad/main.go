@@ -14,7 +14,16 @@
 //	        [-work DIR] [-max-live-shards 4] [-workers 4] [-queue 64]
 //	        [-cache 128] [-seed 1] [-trim] [-skipdoc] [-sandbox-server]
 //	        [-stage-budget MB] [-stage-stat-ttl 100ms]
+//	        [-stage-dir DIR] [-stage-disk-budget MB] [-stage-watch] [-stage-prefetch]
 //	        [-provenance-max-age 0] [-provenance-max-bytes 0]
+//
+// -stage-dir attaches a persistent disk tier under the in-memory staging
+// cache: decoded column blocks write through to a block store there, memory
+// eviction demotes instead of discards, and a restarted daemon promotes hot
+// columns back without re-decoding. -stage-watch (default on) replaces the
+// stat-TTL freshness memo with a filesystem watch — exact invalidation,
+// zero stat syscalls on the staging hot path. See API.md "Stage cache
+// tiers".
 //
 // Session artifact trails accumulate on disk per shard; the
 // -provenance-max-age / -provenance-max-bytes retention policy sweeps old
@@ -146,30 +155,34 @@ func main() {
 	flag.Var(&ensembles, "ensemble",
 		"ensemble shard as name=DIR, repeatable; a bare DIR is named \"default\" (at least one required; see haccgen)")
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		work      = flag.String("work", "", "working directory root; each shard persists under <work>/shards/<name> (default: temp)")
-		maxShards = flag.Int("max-live-shards", service.DefaultMaxLiveShards, "live-shard budget: opening one more closes the least-recently-used idle shard")
-		workers   = flag.Int("workers", 0, "assistant pool size per shard (0 = min(4, GOMAXPROCS))")
-		queue     = flag.Int("queue", 64, "pending-request queue depth per shard")
-		cacheSz   = flag.Int("cache", 128, "answer cache capacity per shard (entries)")
-		maxSess   = flag.Int("max-sessions", 4096, "session-record history bound per shard")
-		seed      = flag.Int64("seed", 1, "default model seed for requests without one")
-		trim      = flag.Bool("trim", true, "trim supervisor history (token optimization)")
-		skipdoc   = flag.Bool("skipdoc", false, "skip the documentation agent")
-		sandboxS  = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
-		approval  = flag.Duration("approval-timeout", 0, "interactive plan-review deadline before auto-approval (0 = 60s default)")
-		eventBuf  = flag.Int("event-buffer", 0, "per-session event-log capacity for interactive asks (0 = 512 default)")
-		stageMB   = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all shards)")
-		statTTL   = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup)")
-		fpTTL     = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
-		provAge   = flag.Duration("provenance-max-age", 0, "garbage-collect session artifact trails older than this at shard close (0 = keep all; cache-referenced sessions are spared)")
-		provBytes = flag.Int64("provenance-max-bytes", 0, "total on-disk session-trail budget enforced at shard close, in bytes (0 = unlimited)")
-		keepDBs   = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
-		verbose   = flag.Bool("v", false, "log per-request progress")
-		route     = flag.String("route", "", "run as a fleet router over these comma-separated node specs (URL or name=URL) instead of serving locally (same as cmd/inferaroute)")
-		nodeID    = flag.String("node-id", "", "fleet identity reported on /healthz (default: host:pid)")
-		maxAsks   = flag.Int("max-concurrent-asks", 0, "node-wide cap on concurrently executing asks across all shards (0 = uncapped)")
-		simLat    = flag.Duration("sim-latency", 0, "per-model-call latency injected into the simulated LLM (models real API round trips; 0 = pure CPU)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		work       = flag.String("work", "", "working directory root; each shard persists under <work>/shards/<name> (default: temp)")
+		maxShards  = flag.Int("max-live-shards", service.DefaultMaxLiveShards, "live-shard budget: opening one more closes the least-recently-used idle shard")
+		workers    = flag.Int("workers", 0, "assistant pool size per shard (0 = min(4, GOMAXPROCS))")
+		queue      = flag.Int("queue", 64, "pending-request queue depth per shard")
+		cacheSz    = flag.Int("cache", 128, "answer cache capacity per shard (entries)")
+		maxSess    = flag.Int("max-sessions", 4096, "session-record history bound per shard")
+		seed       = flag.Int64("seed", 1, "default model seed for requests without one")
+		trim       = flag.Bool("trim", true, "trim supervisor history (token optimization)")
+		skipdoc    = flag.Bool("skipdoc", false, "skip the documentation agent")
+		sandboxS   = flag.Bool("sandbox-server", false, "execute sandbox code over loopback HTTP")
+		approval   = flag.Duration("approval-timeout", 0, "interactive plan-review deadline before auto-approval (0 = 60s default)")
+		eventBuf   = flag.Int("event-buffer", 0, "per-session event-log capacity for interactive asks (0 = 512 default)")
+		stageMB    = flag.Int64("stage-budget", stage.DefaultBudgetBytes>>20, "staging-cache budget for decoded column blocks, in MB (shared across all shards)")
+		statTTL    = flag.Duration("stage-stat-ttl", stage.DefaultStatTTL, "staging-cache freshness-check memoization TTL (<= 0 stats every lookup; superseded by -stage-watch)")
+		stageDir   = flag.String("stage-dir", "", "staging-cache disk tier directory; empty disables the persistent block store")
+		stageDisk  = flag.Int64("stage-disk-budget", stage.DefaultDiskBudgetBytes>>20, "disk-tier block store budget, in MB (needs -stage-dir)")
+		stageWatch = flag.Bool("stage-watch", true, "replace the stat-TTL freshness memo with a filesystem watch (inotify on Linux; exact invalidation, zero hot-path stat syscalls)")
+		stagePref  = flag.Bool("stage-prefetch", true, "prefetch sibling columns and next-step files into the disk tier while a gio file is open (needs -stage-dir)")
+		fpTTL      = flag.Duration("fp-ttl", service.DefaultFingerprintTTL, "ensemble-fingerprint memoization TTL (0 = default, negative = re-walk every request)")
+		provAge    = flag.Duration("provenance-max-age", 0, "garbage-collect session artifact trails older than this at shard close (0 = keep all; cache-referenced sessions are spared)")
+		provBytes  = flag.Int64("provenance-max-bytes", 0, "total on-disk session-trail budget enforced at shard close, in bytes (0 = unlimited)")
+		keepDBs    = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
+		verbose    = flag.Bool("v", false, "log per-request progress")
+		route      = flag.String("route", "", "run as a fleet router over these comma-separated node specs (URL or name=URL) instead of serving locally (same as cmd/inferaroute)")
+		nodeID     = flag.String("node-id", "", "fleet identity reported on /healthz (default: host:pid)")
+		maxAsks    = flag.Int("max-concurrent-asks", 0, "node-wide cap on concurrently executing asks across all shards (0 = uncapped)")
+		simLat     = flag.Duration("sim-latency", 0, "per-model-call latency injected into the simulated LLM (models real API round trips; 0 = pure CPU)")
 	)
 	flag.Parse()
 	if *route != "" {
@@ -181,10 +194,22 @@ func main() {
 		log.Fatal("inferad: at least one -ensemble is required (generate one with haccgen)")
 	}
 	// The staging cache is process-wide (every shard's data loader and
-	// domain tools share it); the flags size that shared instance and tune
-	// its per-block freshness-check memoization.
+	// domain tools share it); the flags size that shared instance, attach
+	// its optional persistent tier and pick its freshness mechanism.
 	stage.Shared().SetBudget(*stageMB << 20)
 	stage.Shared().SetStatTTL(*statTTL)
+	stage.Shared().SetPrefetch(*stagePref)
+	if *stageDir != "" {
+		if err := stage.Shared().SetDiskTier(*stageDir, *stageDisk<<20); err != nil {
+			log.Fatalf("inferad: stage disk tier: %v", err)
+		}
+	}
+	if *stageWatch {
+		if err := stage.Shared().SetWatch(true); err != nil {
+			// No working watch backend: keep serving with the stat-TTL memo.
+			log.Printf("inferad: stage watch unavailable, falling back to stat-TTL freshness: %v", err)
+		}
+	}
 
 	cfg := service.RegistryConfig{
 		Defaults: service.Config{

@@ -43,8 +43,10 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,6 +55,7 @@ import (
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/service"
+	"infera/internal/stage"
 )
 
 // Grid is the experiment description. Axes are crossed; each resulting
@@ -99,13 +102,14 @@ type cell struct {
 
 func main() {
 	var (
-		gridPath  = flag.String("grid", "", "experiment grid JSON (see cmd/loadgen/README.md)")
-		addr      = flag.String("addr", "", "address of a running inferad (host:port)")
-		spawn     = flag.Bool("spawn", false, "start an in-process registry on 127.0.0.1:0 instead of -addr")
-		ensemble  = flag.String("ensemble", "", "ensemble directory shards are registered from")
-		gen       = flag.Bool("gen", false, "generate a small throwaway ensemble when -ensemble is empty")
-		validate  = flag.String("validate", "", "validate a benchjson BENCH_*.json document and exit")
-		minPhases = flag.Int("min-phases", 4, "fail unless this many ask phases show up in /v1/metrics/prometheus")
+		gridPath   = flag.String("grid", "", "experiment grid JSON (see cmd/loadgen/README.md)")
+		addr       = flag.String("addr", "", "address of a running inferad (host:port)")
+		spawn      = flag.Bool("spawn", false, "start an in-process registry on 127.0.0.1:0 instead of -addr")
+		restartMid = flag.Bool("restart-mid", false, "spawn mode: bounce the daemon halfway through the grid, reviving a fresh stage cache from the same disk-tier block store; fails unless the disk tier serves promotions afterwards")
+		ensemble   = flag.String("ensemble", "", "ensemble directory shards are registered from")
+		gen        = flag.Bool("gen", false, "generate a small throwaway ensemble when -ensemble is empty")
+		validate   = flag.String("validate", "", "validate a benchjson BENCH_*.json document and exit")
+		minPhases  = flag.Int("min-phases", 4, "fail unless this many ask phases show up in /v1/metrics/prometheus")
 
 		fleetN     = flag.Int("fleet", 0, "spawn this many in-process nodes behind a fleet router and drive the router")
 		nodeCap    = flag.Int("node-cap", 2, "fleet mode: concurrently executing asks per node")
@@ -172,32 +176,21 @@ func main() {
 		base = h.router.Addr()
 		fmt.Fprintf(os.Stderr, "loadgen: spawned %d-node fleet behind router %s\n", *fleetN, base)
 	}
+	var daemon *spawnedDaemon
 	if *spawn {
 		if base != "" {
 			log.Fatal("loadgen: -spawn and -addr are mutually exclusive")
 		}
-		reg := service.NewRegistry(service.RegistryConfig{
-			Defaults: service.Config{
-				Seed: grid.BaseSeed,
-				// Loadgen validates answers, so keep the simulated model on
-				// its deterministic low-error stream (the same configuration
-				// the service tests pin).
-				NewModel: func(seed int64) llm.Client {
-					return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
-				},
-				ApprovalTimeout: 60 * time.Second,
-			},
-		})
-		srv := service.NewServer(reg)
-		if err := srv.Start("127.0.0.1:0"); err != nil {
-			log.Fatalf("loadgen: start server: %v", err)
+		d, err := newSpawnedDaemon(grid.BaseSeed, *restartMid)
+		if err != nil {
+			log.Fatalf("loadgen: spawn daemon: %v", err)
 		}
-		defer func() {
-			reg.Close()
-			srv.Close()
-		}()
-		base = srv.Addr()
+		defer d.close()
+		daemon = d
+		base = d.srv.Addr()
 		fmt.Fprintf(os.Stderr, "loadgen: spawned inferad on %s\n", base)
+	} else if *restartMid {
+		log.Fatal("loadgen: -restart-mid needs -spawn")
 	}
 	if base == "" {
 		log.Fatal("loadgen: one of -addr or -spawn is required")
@@ -239,13 +232,31 @@ func main() {
 		}
 	}
 
+	// With -restart-mid the daemon is bounced between grid passes: the
+	// first half populates the disk-tier block store through write-through,
+	// the restart discards every in-memory tier, and the second half must
+	// revive from disk (checked after the grid).
+	restartAt := len(cells) * grid.Repeats / 2
+	runs := 0
 	for ci, c := range cells {
 		for rep := 0; rep < grid.Repeats; rep++ {
+			if *restartMid && runs == restartAt && runs > 0 {
+				addr, err := daemon.restart()
+				if err != nil {
+					log.Fatalf("loadgen: restart-mid: %v", err)
+				}
+				cli = client.New(addr)
+				if err := cli.WaitReady(30 * time.Second); err != nil {
+					log.Fatalf("loadgen: restarted daemon not ready: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "loadgen: restarted daemon on %s over stage dir %s\n", addr, daemon.stageDir)
+			}
 			line, err := runCell(cli, dir, grid, c, ci, rep, *fleetN, afterAsk)
 			if err != nil {
 				log.Fatalf("loadgen: cell %d rep %d: %v", ci, rep, err)
 			}
 			fmt.Println(line)
+			runs++
 		}
 	}
 
@@ -272,6 +283,118 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: router forwarded %d requests\n", forwards)
 	}
+	if *restartMid {
+		// The revival acceptance gate: the post-restart grid half must have
+		// promoted staged blocks from the disk tier instead of re-decoding
+		// everything from the gio sources.
+		body, err := cli.PrometheusMetrics()
+		if err != nil {
+			log.Fatalf("loadgen: scrape prometheus: %v", err)
+		}
+		hits := diskTierHits(body)
+		if hits == 0 {
+			log.Fatal("loadgen: restart-mid: infera_stage_tier_hits_total{tier=\"disk\"} is zero — the block store did not revive the stage cache")
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: disk tier served %g promotions across the restart\n", hits)
+	}
+}
+
+// spawnedDaemon is the -spawn in-process daemon. With -restart-mid it
+// pins a work root and a stage-dir block store, so restart() can stand
+// up a fresh registry — empty memory tier, no shard state — over the
+// same on-disk state: the in-process equivalent of bouncing inferad.
+type spawnedDaemon struct {
+	seed     int64
+	workRoot string
+	stageDir string // "" runs without a disk tier (plain -spawn)
+	reg      *service.Registry
+	srv      *service.Server
+	st       *stage.Cache
+}
+
+func newSpawnedDaemon(seed int64, diskTier bool) (*spawnedDaemon, error) {
+	d := &spawnedDaemon{seed: seed}
+	if diskTier {
+		root, err := os.MkdirTemp("", "loadgen-work-*")
+		if err != nil {
+			return nil, err
+		}
+		d.workRoot = root
+		d.stageDir = filepath.Join(root, "stage")
+	}
+	if err := d.start(); err != nil {
+		if d.workRoot != "" {
+			os.RemoveAll(d.workRoot)
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *spawnedDaemon) start() error {
+	cfg := service.Config{
+		Seed: d.seed,
+		// Loadgen validates answers, so keep the simulated model on its
+		// deterministic low-error stream (the same configuration the
+		// service tests pin).
+		NewModel: func(seed int64) llm.Client {
+			return llm.NewSim(llm.SimConfig{Seed: seed, ColumnErrorRate: 1e-9, ToolErrorRate: 1e-9})
+		},
+		ApprovalTimeout: 60 * time.Second,
+	}
+	if d.stageDir != "" {
+		st := stage.New(stage.DefaultBudgetBytes, 4)
+		if err := st.SetDiskTier(d.stageDir, 0); err != nil {
+			return err
+		}
+		cfg.Stage = st
+		d.st = st
+	}
+	d.reg = service.NewRegistry(service.RegistryConfig{Defaults: cfg, WorkDir: d.workRoot})
+	d.srv = service.NewServer(d.reg)
+	if err := d.srv.Start("127.0.0.1:0"); err != nil {
+		d.reg.Close()
+		return err
+	}
+	return nil
+}
+
+func (d *spawnedDaemon) restart() (string, error) {
+	d.close()
+	if err := d.start(); err != nil {
+		return "", err
+	}
+	return d.srv.Addr(), nil
+}
+
+func (d *spawnedDaemon) close() {
+	if d.reg != nil {
+		d.reg.Close()
+	}
+	if d.srv != nil {
+		d.srv.Close()
+	}
+	if d.st != nil {
+		d.st.WaitPending() // flush write-through persists before the "process" dies
+		d.st.Close()
+	}
+	d.reg, d.srv, d.st = nil, nil, nil
+}
+
+var diskHitsRe = regexp.MustCompile(`infera_stage_tier_hits_total\{[^}]*tier="disk"[^}]*\} ([0-9eE.+-]+)`)
+
+// diskTierHits extracts the disk-tier promotion counter from a
+// Prometheus exposition body; 0 when the series is absent.
+func diskTierHits(body string) float64 {
+	m := diskHitsRe.FindStringSubmatch(body)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 func loadGrid(path string) (Grid, error) {

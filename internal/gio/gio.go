@@ -145,6 +145,21 @@ func EncodedSize(c *dataframe.Column) int64 {
 	}
 }
 
+// EncodeBlock returns c's encoded on-disk block — byte-identical to what
+// WriteFile stores for the column — so callers that persist column blocks
+// outside a full gio file (the stage cache's disk tier) reuse this
+// package's layout instead of inventing a second serialization.
+func EncodeBlock(c *dataframe.Column) ([]byte, error) {
+	return encodeColumn(c)
+}
+
+// DecodeBlock decodes an encoded column block (EncodeBlock, or a raw block
+// lifted from a gio file via ReadBlock) back into a column. rows must be
+// the row count the block was encoded with.
+func DecodeBlock(name string, kind dataframe.Kind, blk []byte, rows int) (*dataframe.Column, error) {
+	return decodeColumn(ColumnInfo{Name: name, Kind: kind, Size: int64(len(blk))}, blk, rows)
+}
+
 func encodeColumn(c *dataframe.Column) ([]byte, error) {
 	var buf bytes.Buffer
 	switch c.Kind {
@@ -297,6 +312,30 @@ func (r *Reader) ReadColumn(name string) (*dataframe.Column, int64, error) {
 		return nil, 0, fmt.Errorf("gio: decode %q: %w", name, err)
 	}
 	return col, info.Size, nil
+}
+
+// ReadBlock fetches the named column's raw encoded block, CRC-verified but
+// not decoded. It is the transfer primitive for callers that move blocks
+// between stores without materializing columns — the stage cache's disk
+// tier prefetches sibling columns this way, paying the read but deferring
+// the decode until (unless) the column is actually requested. The bytes
+// count toward BytesRead like any other block fetch. Safe for concurrent
+// use with other reads on the same Reader.
+func (r *Reader) ReadBlock(name string) (ColumnInfo, []byte, error) {
+	i, ok := r.byName[name]
+	if !ok {
+		return ColumnInfo{}, nil, &dataframe.ColumnError{Name: name, Available: r.ColumnNames()}
+	}
+	info := r.hdr.Columns[i]
+	blk := make([]byte, info.Size)
+	if _, err := r.f.ReadAt(blk, info.Offset); err != nil {
+		return ColumnInfo{}, nil, fmt.Errorf("gio: read block %q: %w", name, err)
+	}
+	r.bytesRead.Add(info.Size)
+	if got := crc32.Checksum(blk, castagnoli); got != info.CRC {
+		return ColumnInfo{}, nil, fmt.Errorf("gio: column %q: CRC mismatch (file corrupt): got %08x want %08x", name, got, info.CRC)
+	}
+	return info, blk, nil
 }
 
 // ReadColumns reads only the named columns into a frame, verifying each

@@ -1,0 +1,24 @@
+//go:build unix
+
+package stage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map block files for the
+// cast promotion path.
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and shared. The
+// mapping is deliberately never unmapped (see diskTier): promoted column
+// vectors alias it with unbounded lifetime, and a read-only file-backed
+// mapping consumes address space, not resident memory, until its pages
+// are actually touched.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

@@ -53,6 +53,25 @@
 // Select, Concat) all allocate fresh vectors or honor the shared mark, so
 // staged frames flow into sqldb.BulkAppend by reference.
 //
+// # Tiers
+//
+// An optional disk tier (SetDiskTier, -stage-dir) persists decoded blocks
+// under the memory LRU: decodes write through to a compact block store
+// (disk.go), memory eviction demotes instead of discards, and a memory
+// miss promotes from disk — an mmap cast for numeric columns — without
+// touching the gio decoder, so hot columns survive restarts and the
+// memory budget stops being the residency ceiling. With a tier attached,
+// sibling columns and hinted next-step files are opportunistically
+// prefetched while a source file is open (prefetch.go).
+//
+// # Freshness
+//
+// With a filesystem watch active (SetWatch, inotify on Linux), each
+// file's stamp is pinned after one stat and every later freshness check
+// is served from the pin with zero syscalls; a watch event unpins and
+// invalidates exactly the touched file's entries in both tiers
+// (watch.go). Without a watch, the stat-TTL memo below applies.
+//
 // # Concurrency
 //
 // All methods are safe for concurrent use. Concurrent misses single-flight
@@ -71,6 +90,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infera/internal/dataframe"
@@ -126,6 +146,48 @@ type Stats struct {
 	// backing files they span.
 	Entries int `json:"entries"`
 	Files   int `json:"files"`
+
+	// StatCalls counts real stat syscalls performed by freshness checks —
+	// the denominator (with StatSaves) behind the watch mode's
+	// zero-syscall claim.
+	StatCalls int64 `json:"stat_calls"`
+
+	// DiskHits counts memory misses served by promoting a block from the
+	// disk tier instead of decoding; PromotedBytes is their cumulative
+	// payload volume (tier I/O, deliberately not part of bytes_decoded —
+	// that counter keeps measuring source-file decode I/O only).
+	DiskHits      int64 `json:"disk_hits"`
+	PromotedBytes int64 `json:"promoted_bytes"`
+	// DiskPromoteFailures counts promotions that found a resident block
+	// unusable (truncated, corrupt, raced with eviction); each evicted
+	// exactly the bad block and fell through to the decoder.
+	DiskPromoteFailures int64 `json:"disk_promote_failures"`
+	// Demotions / DemotedBytes count memory-budget evictions that kept
+	// (or wrote) a disk-tier copy instead of discarding the block.
+	Demotions    int64 `json:"demotions"`
+	DemotedBytes int64 `json:"demoted_bytes"`
+	// DiskWrites counts block files written (write-through, demotion and
+	// prefetch alike); the remaining disk_* fields mirror the memory
+	// tier's accounting for the block store.
+	DiskWrites        int64 `json:"disk_writes"`
+	DiskEvictions     int64 `json:"disk_evictions"`
+	DiskEvictedBytes  int64 `json:"disk_evicted_bytes"`
+	DiskInvalidations int64 `json:"disk_invalidations"`
+	DiskUsedBytes     int64 `json:"disk_used_bytes"`
+	DiskBudgetBytes   int64 `json:"disk_budget_bytes"`
+	DiskEntries       int   `json:"disk_entries"`
+
+	// PrefetchIssued counts blocks pulled into the disk tier
+	// speculatively; Used counts those later promoted at least once,
+	// Wasted those evicted or invalidated untouched.
+	PrefetchIssued int64 `json:"prefetch_issued"`
+	PrefetchUsed   int64 `json:"prefetch_used"`
+	PrefetchWasted int64 `json:"prefetch_wasted"`
+
+	// WatchEvents counts filesystem change notifications handled;
+	// WatchedFiles is the number of files currently pinned stat-free.
+	WatchEvents  int64 `json:"watch_events"`
+	WatchedFiles int   `json:"watched_files"`
 }
 
 // key identifies one cached column block. Freshness is checked against the
@@ -148,6 +210,9 @@ type entry struct {
 	// col is the decoded immutable (shared-marked) column vector.
 	col   *dataframe.Column
 	bytes int64
+	// persisted marks the block as already (or about to be) resident in
+	// the disk tier, so eviction-time demotion can skip the write.
+	persisted bool
 }
 
 type flight struct {
@@ -179,10 +244,45 @@ type Cache struct {
 	paths map[string]int
 	stats Stats
 
+	// disk is the optional persistent tier (SetDiskTier); nil = memory only.
+	disk *diskTier
+	// prefetchOn gates sibling/next-step prefetching; prefetchBusy
+	// dedupes in-flight passes per source file.
+	prefetchOn    bool
+	prefetchBusy  map[string]bool
+	neighborHints map[string]func(string) []string
+
+	// watch-mode freshness state: pinned holds the stat-free stamp per
+	// file, pinEpoch fences a pin against an event that raced the stat
+	// that produced it (see statPath).
+	watch    watcher
+	watchOn  bool
+	pinned   map[string]stamp
+	pinEpoch map[string]uint64
+
+	// bg is the bounded background pool shared by write-through persists
+	// and prefetch passes; created in New, workers started lazily by the
+	// first SetDiskTier. bgWG tracks queued-but-unfinished tasks for
+	// WaitPending.
+	bg        chan func()
+	bgOnce    sync.Once
+	bgWG      sync.WaitGroup
+	bgStarted atomic.Bool
+
 	// Pre-resolved telemetry instruments (SetMetrics); nil records nothing.
 	// Pre-resolving keeps the decode path free of registry lookups.
-	decodeSeconds *telemetry.Histogram
-	decodedBytes  *telemetry.Counter
+	decodeSeconds  *telemetry.Histogram
+	decodedBytes   *telemetry.Counter
+	tierHitsMem    *telemetry.Counter
+	tierHitsDisk   *telemetry.Counter
+	promotionsCtr  *telemetry.Counter
+	demotionsCtr   *telemetry.Counter
+	prefIssuedCtr  *telemetry.Counter
+	prefUsedCtr    *telemetry.Counter
+	prefWastedCtr  *telemetry.Counter
+	watchEventsCtr *telemetry.Counter
+	statSavesCtr   *telemetry.Counter
+	statCallsCtr   *telemetry.Counter
 }
 
 // New returns a cache holding at most budgetBytes of decoded column
@@ -197,16 +297,159 @@ func New(budgetBytes int64, workers int) *Cache {
 		}
 	}
 	return &Cache{
-		workers:  workers,
-		sem:      make(chan struct{}, workers),
-		budget:   budgetBytes,
-		statTTL:  DefaultStatTTL,
-		ll:       list.New(),
-		items:    map[key]*list.Element{},
-		inflight: map[key]*flight{},
-		statMemo: map[string]statEntry{},
-		paths:    map[string]int{},
+		workers:      workers,
+		sem:          make(chan struct{}, workers),
+		budget:       budgetBytes,
+		statTTL:      DefaultStatTTL,
+		ll:           list.New(),
+		items:        map[key]*list.Element{},
+		inflight:     map[key]*flight{},
+		statMemo:     map[string]statEntry{},
+		paths:        map[string]int{},
+		prefetchOn:   true,
+		prefetchBusy: map[string]bool{},
+		pinned:       map[string]stamp{},
+		pinEpoch:     map[string]uint64{},
+		bg:           make(chan func(), 256),
 	}
+}
+
+// SetDiskTier attaches (or, with dir == "", detaches) the persistent
+// block store rooted at dir with the given byte budget (<= 0 picks
+// DefaultDiskBudgetBytes). Attaching scans resident block files and
+// starts the background persist/prefetch pool; blocks persisted by a
+// previous process become promotable immediately. Replacing an attached
+// tier leaves the old directory's files on disk.
+func (c *Cache) SetDiskTier(dir string, budgetBytes int64) error {
+	if dir == "" {
+		c.mu.Lock()
+		c.disk = nil
+		c.mu.Unlock()
+		return nil
+	}
+	dt, err := newDiskTier(dir, budgetBytes)
+	if err != nil {
+		return err
+	}
+	c.startBG()
+	c.mu.Lock()
+	dt.setPrefetchCounters(c.prefIssuedCtr, c.prefUsedCtr, c.prefWastedCtr)
+	c.disk = dt
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWatch turns filesystem-watch freshness on or off. While on, files
+// are pinned after their first stat and freshness checks cost zero
+// syscalls until the watcher reports a change (exact invalidation); the
+// stat-TTL memo is bypassed. Turning it off (or a constructor error on
+// platforms without a working backend) reverts to TTL mode.
+func (c *Cache) SetWatch(on bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if on {
+		if c.watch != nil {
+			c.watchOn = true
+			return nil
+		}
+		w, err := newWatcher(c.onFileEvent)
+		if err != nil {
+			return err
+		}
+		c.watch = w
+		c.watchOn = true
+		return nil
+	}
+	if c.watch != nil {
+		c.watch.close()
+		c.watch = nil
+	}
+	c.watchOn = false
+	c.pinned = map[string]stamp{}
+	return nil
+}
+
+// onFileEvent is the watcher callback: the file changed (or vanished), so
+// unpin its stamp and drop its entries from both tiers — the exact,
+// event-driven replacement for TTL expiry. An in-flight decode of the old
+// generation is harmless: its entries carry the old stamp and fail the
+// next lookup's freshness comparison.
+func (c *Cache) onFileEvent(path string) {
+	c.mu.Lock()
+	c.pinEpoch[path]++
+	delete(c.pinned, path)
+	delete(c.statMemo, path)
+	c.stats.WatchEvents++
+	c.watchEventsCtr.Inc()
+	var doomed []*list.Element
+	for k, el := range c.items {
+		if k.path == path {
+			doomed = append(doomed, el)
+		}
+	}
+	for _, el := range doomed {
+		c.removeLocked(el)
+		c.stats.Invalidations++
+	}
+	dt := c.disk
+	c.mu.Unlock()
+	if dt != nil {
+		dt.invalidatePath(path)
+	}
+}
+
+// startBG launches the background pool (2 workers — persist and prefetch
+// are I/O-bound housekeeping; the point is bounding, not throughput).
+func (c *Cache) startBG() {
+	c.bgOnce.Do(func() {
+		for i := 0; i < 2; i++ {
+			go func() {
+				for fn := range c.bg {
+					fn()
+				}
+			}()
+		}
+		c.bgStarted.Store(true)
+	})
+}
+
+// enqueueBG submits a task to the pool without blocking; a full queue —
+// or a pool that was never started because no disk tier is attached —
+// drops the task (persist and prefetch are both best-effort). Safe to
+// call while holding c.mu.
+func (c *Cache) enqueueBG(fn func()) bool {
+	if !c.bgStarted.Load() {
+		return false
+	}
+	c.bgWG.Add(1)
+	wrapped := func() { defer c.bgWG.Done(); fn() }
+	select {
+	case c.bg <- wrapped:
+		return true
+	default:
+		c.bgWG.Done()
+		return false
+	}
+}
+
+// WaitPending blocks until every queued background persist/prefetch task
+// has finished — how tests and benchmarks make the asynchronous tier
+// deterministic before asserting on disk state.
+func (c *Cache) WaitPending() { c.bgWG.Wait() }
+
+// Close stops the watcher and drains the background pool. Resident state
+// (both tiers) is left intact; mmapped promotion pages stay valid for
+// the process lifetime by design. The Shared cache is never closed.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.watch != nil {
+		c.watch.close()
+		c.watch = nil
+	}
+	c.watchOn = false
+	c.mu.Unlock()
+	c.bgWG.Wait()
+	return nil
 }
 
 var (
@@ -253,22 +496,64 @@ func (c *Cache) SetMetrics(r *telemetry.Registry) {
 	defer c.mu.Unlock()
 	if r == nil {
 		c.decodeSeconds, c.decodedBytes = nil, nil
+		c.tierHitsMem, c.tierHitsDisk, c.promotionsCtr, c.demotionsCtr = nil, nil, nil, nil
+		c.prefIssuedCtr, c.prefUsedCtr, c.prefWastedCtr = nil, nil, nil
+		c.watchEventsCtr, c.statSavesCtr, c.statCallsCtr = nil, nil, nil
+		if c.disk != nil {
+			c.disk.setPrefetchCounters(nil, nil, nil)
+		}
 		return
 	}
 	r.SetHelp("infera_stage_decode_seconds", "Wall-clock duration of one gio column decode batch.")
 	r.SetHelp("infera_stage_decoded_bytes_total", "Cumulative encoded block bytes read from disk by stage-cache decodes.")
+	r.SetHelp("infera_stage_tier_hits_total", "Column lookups served per cache tier (mem = resident block, disk = promoted from the block store).")
+	r.SetHelp("infera_stage_tier_promotions_total", "Blocks promoted disk -> memory without touching the gio decoder.")
+	r.SetHelp("infera_stage_tier_demotions_total", "Memory-budget evictions that kept a disk-tier copy instead of discarding.")
+	r.SetHelp("infera_stage_prefetch_issued_total", "Blocks speculatively pulled into the disk tier (siblings and next-step files).")
+	r.SetHelp("infera_stage_prefetch_total", "Prefetched blocks by outcome: used (promoted at least once) or wasted (evicted untouched).")
+	r.SetHelp("infera_stage_watch_events_total", "Filesystem change notifications handled by the stage watcher.")
+	r.SetHelp("infera_stage_stat_saves_total", "Freshness checks served without a stat syscall (watch pin or TTL memo).")
+	r.SetHelp("infera_stage_stat_calls_total", "Real stat syscalls performed by freshness checks.")
 	c.decodeSeconds = r.Histogram("infera_stage_decode_seconds", nil)
 	c.decodedBytes = r.Counter("infera_stage_decoded_bytes_total")
+	c.tierHitsMem = r.Counter("infera_stage_tier_hits_total", telemetry.L("tier", "mem"))
+	c.tierHitsDisk = r.Counter("infera_stage_tier_hits_total", telemetry.L("tier", "disk"))
+	c.promotionsCtr = r.Counter("infera_stage_tier_promotions_total")
+	c.demotionsCtr = r.Counter("infera_stage_tier_demotions_total")
+	c.prefIssuedCtr = r.Counter("infera_stage_prefetch_issued_total")
+	c.prefUsedCtr = r.Counter("infera_stage_prefetch_total", telemetry.L("outcome", "used"))
+	c.prefWastedCtr = r.Counter("infera_stage_prefetch_total", telemetry.L("outcome", "wasted"))
+	c.watchEventsCtr = r.Counter("infera_stage_watch_events_total")
+	c.statSavesCtr = r.Counter("infera_stage_stat_saves_total")
+	c.statCallsCtr = r.Counter("infera_stage_stat_calls_total")
+	if c.disk != nil {
+		c.disk.setPrefetchCounters(c.prefIssuedCtr, c.prefUsedCtr, c.prefWastedCtr)
+	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, merging in the disk tier's.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := c.stats
 	st.BudgetBytes = c.budget
 	st.Entries = c.ll.Len()
 	st.Files = len(c.paths)
+	st.WatchedFiles = len(c.pinned)
+	dt := c.disk
+	c.mu.Unlock()
+	if dt != nil {
+		ds, entries := dt.snapshot()
+		st.DiskWrites = ds.writes
+		st.DiskEvictions = ds.evictions
+		st.DiskEvictedBytes = ds.evictedBytes
+		st.DiskInvalidations = ds.invalidations
+		st.DiskUsedBytes = ds.usedBytes
+		st.DiskBudgetBytes = dt.budgetBytes()
+		st.DiskEntries = entries
+		st.PrefetchIssued = ds.prefetchIssued
+		st.PrefetchUsed = ds.prefetchUsed
+		st.PrefetchWasted = ds.prefetchWasted
+	}
 	return st
 }
 
@@ -287,29 +572,58 @@ func canonicalCols(names []string) []string {
 	return uniq
 }
 
-// statPath resolves the file's current identity, served from the TTL memo
-// when fresh enough. bypass forces a real stat (used on generation-mismatch
-// retries, where the memo is exactly what must not be trusted).
+// statPath resolves the file's current identity. In watch mode a pinned
+// stamp is served with zero syscalls until a change event unpins it; in
+// TTL mode the memo serves lookups within the window. bypass forces a
+// real stat (used on generation-mismatch retries, where the cached stamp
+// is exactly what must not be trusted).
 func (c *Cache) statPath(path string, bypass bool) (stamp, error) {
 	c.mu.Lock()
-	if !bypass && c.statTTL > 0 {
-		if e, ok := c.statMemo[path]; ok && time.Since(e.at) < c.statTTL {
-			c.stats.StatSaves++
-			c.mu.Unlock()
-			return e.st, nil
+	if !bypass {
+		if c.watchOn {
+			if st, ok := c.pinned[path]; ok {
+				c.stats.StatSaves++
+				c.statSavesCtr.Inc()
+				c.mu.Unlock()
+				return st, nil
+			}
+		} else if c.statTTL > 0 {
+			if e, ok := c.statMemo[path]; ok && time.Since(e.at) < c.statTTL {
+				c.stats.StatSaves++
+				c.statSavesCtr.Inc()
+				c.mu.Unlock()
+				return e.st, nil
+			}
 		}
 	}
+	watchOn, w := c.watchOn, c.watch
+	epoch0 := c.pinEpoch[path]
 	c.mu.Unlock()
+	// Pin protocol: arm the watch BEFORE statting, and pin only if no
+	// event arrived in between (epoch fence). Stat-then-watch would lose
+	// a change landing in the gap and pin a stale stamp forever; with
+	// this order such a change fires an event that bumps the epoch and
+	// the pin is refused — the next lookup stats again.
+	var watchArmed bool
+	if watchOn && w != nil {
+		watchArmed = w.add(path) == nil
+	}
 	st, err := os.Stat(path)
+	c.mu.Lock()
+	c.stats.StatCalls++
+	c.statCallsCtr.Inc()
 	if err != nil {
-		c.mu.Lock()
 		delete(c.statMemo, path)
+		delete(c.pinned, path)
 		c.mu.Unlock()
 		return stamp{}, err
 	}
 	now := stamp{mtime: st.ModTime().UnixNano(), size: st.Size()}
-	c.mu.Lock()
-	if c.statTTL > 0 {
+	if c.watchOn {
+		if watchArmed && c.pinEpoch[path] == epoch0 {
+			c.pinned[path] = now
+		}
+	} else if c.statTTL > 0 {
 		c.statMemo[path] = statEntry{st: now, at: time.Now()}
 	}
 	c.mu.Unlock()
@@ -373,20 +687,77 @@ func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytes
 			missing = append(missing, name)
 		}
 		c.stats.Hits += int64(hits)
-		if len(missing) > 0 {
-			c.stats.Misses += int64(len(missing))
-			c.stats.Opens++
-			if hits > 0 || len(waits) > 0 {
-				c.stats.PartialHits++
-			}
-		}
+		c.tierHitsMem.Add(int64(hits))
+		dt := c.disk
 		c.mu.Unlock()
 
-		var decoded []*entry
+		var (
+			decoded  []*entry
+			fromDisk []bool
+		)
 		if len(missing) > 0 {
-			var errs []error
-			decoded, errs = c.decode(path, missing)
+			decoded = make([]*entry, len(missing))
+			errs := make([]error, len(missing))
+			fromDisk = make([]bool, len(missing))
+			// This call leads the flights for every missing column. Try the
+			// disk tier first: a promotion serves the block without touching
+			// the gio decoder (mmap cast for numeric columns), and a
+			// resident-but-unusable block — truncated, corrupt, raced with
+			// eviction — evicts exactly that block and falls through to the
+			// decoder, mirroring the per-column error attribution below.
+			toDecode := make([]int, 0, len(missing))
+			var promoted, promoteFails int64
+			var promotedBytes int64
+			for i, name := range missing {
+				if dt == nil {
+					toDecode = append(toDecode, i)
+					continue
+				}
+				col, n, ok, perr := dt.promote(key{path: path, col: name}, now)
+				if ok {
+					decoded[i] = &entry{
+						key:       key{path: path, col: name},
+						stamp:     now,
+						col:       col,
+						bytes:     n,
+						persisted: true,
+					}
+					fromDisk[i] = true
+					promoted++
+					promotedBytes += n
+					continue
+				}
+				if perr != nil {
+					promoteFails++
+				}
+				toDecode = append(toDecode, i)
+			}
+			c.mu.Lock()
+			c.stats.DiskHits += promoted
+			c.stats.PromotedBytes += promotedBytes
+			c.stats.DiskPromoteFailures += promoteFails
+			c.tierHitsDisk.Add(promoted)
+			c.promotionsCtr.Add(promoted)
+			if len(toDecode) > 0 {
+				c.stats.Misses += int64(len(toDecode))
+				c.stats.Opens++
+				if hits > 0 || len(waits) > 0 || promoted > 0 {
+					c.stats.PartialHits++
+				}
+			}
+			c.mu.Unlock()
+			if len(toDecode) > 0 {
+				cols := make([]string, len(toDecode))
+				for j, i := range toDecode {
+					cols[j] = missing[i]
+				}
+				dentries, derrs := c.decode(path, cols)
+				for j, i := range toDecode {
+					decoded[i], errs[i] = dentries[j], derrs[j]
+				}
+			}
 			var firstErr error
+			var toPersist []*entry
 			c.mu.Lock()
 			for i, fl := range lead {
 				delete(c.inflight, key{path: path, col: missing[i]})
@@ -401,9 +772,21 @@ func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytes
 					continue
 				}
 				fl.e = decoded[i]
+				// Write a freshly decoded block through to the disk tier
+				// before inserting: insertion may evict it from memory
+				// immediately (oversized, or budget pressure), and the disk
+				// copy is what makes the memory budget a performance knob
+				// rather than the residency ceiling.
+				if dt != nil && !decoded[i].persisted {
+					decoded[i].persisted = true
+					toPersist = append(toPersist, decoded[i])
+				}
 				c.insertLocked(decoded[i])
 			}
 			c.mu.Unlock()
+			for _, e := range toPersist {
+				c.persistAsync(dt, e)
+			}
 			for _, fl := range lead {
 				close(fl.done)
 			}
@@ -412,10 +795,21 @@ func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytes
 					continue
 				}
 				resolved[missing[i]] = e.col
-				bytesRead += e.bytes
+				// Promoted bytes are tier I/O, not source-file I/O — callers'
+				// decode-volume accounting must stay truthful about what was
+				// NOT re-read from the source.
+				if !fromDisk[i] {
+					bytesRead += e.bytes
+				}
 			}
 			if firstErr != nil {
 				return nil, bytesRead, firstErr
+			}
+			if len(toDecode) > 0 {
+				// A demand decode just had the file open: pull its sibling
+				// columns (and hinted next-step files) into the disk tier in
+				// the background.
+				c.maybePrefetch(path, uniq, now)
 			}
 		}
 
@@ -434,14 +828,19 @@ func (c *Cache) Columns(path string, names ...string) (f *dataframe.Frame, bytes
 			resolved[w.col] = w.fl.e.col
 			c.mu.Lock()
 			c.stats.Hits++
+			c.tierHitsMem.Inc()
 			c.mu.Unlock()
 		}
 		// A decode that observed a different identity than our freshness
 		// check means the file changed underfoot (or the memo was stale);
 		// re-validate everything against a real stat rather than assembling
-		// a torn frame from mixed generations.
-		if len(decoded) > 0 && decoded[0].stamp != now {
-			stale = true
+		// a torn frame from mixed generations. (Promoted entries carry now's
+		// stamp by construction; only decoder-sourced entries can disagree.)
+		for _, e := range decoded {
+			if e != nil && e.stamp != now {
+				stale = true
+				break
+			}
 		}
 		if stale {
 			fresh = true
@@ -573,7 +972,34 @@ func (c *Cache) evictOverBudgetLocked() {
 		c.removeLocked(oldest)
 		c.stats.Evictions++
 		c.stats.EvictedBytes += e.bytes
+		// With a disk tier attached, a budget eviction is a demotion: the
+		// block stays promotable from the store. Most blocks were already
+		// written through at decode time; one that wasn't (write-through
+		// dropped on a full queue) is persisted now, best-effort.
+		if c.disk != nil {
+			c.stats.Demotions++
+			c.stats.DemotedBytes += e.bytes
+			c.demotionsCtr.Inc()
+			if !e.persisted {
+				e.persisted = true
+				c.persistAsync(c.disk, e)
+			}
+		}
 	}
+}
+
+// persistAsync queues one block's write-through to the disk tier. The
+// encode (and file write) happen on the background pool, off the decode
+// path; the entry's column vector is immutable so capturing it is safe.
+func (c *Cache) persistAsync(dt *diskTier, e *entry) {
+	k, st, col := e.key, e.stamp, e.col
+	c.enqueueBG(func() {
+		payload, err := gio.EncodeBlock(col)
+		if err != nil {
+			return
+		}
+		dt.put(k, st, col.Kind, col.Len(), payload, false)
+	})
 }
 
 func (c *Cache) removeLocked(el *list.Element) {

@@ -44,11 +44,13 @@ N1=127.0.0.1:18081
 N2=127.0.0.1:18082
 RT=127.0.0.1:18080
 
-say "starting 2 inferad nodes (shared -work $WORK)"
-"$BIN/inferad" -addr $N1 -work "$WORK" -node-id smoke-n1 -ensemble "seed=$TMP/ens" >"$TMP/n1.log" 2>&1 &
+say "starting 2 inferad nodes (shared -work $WORK, per-node -stage-dir)"
+"$BIN/inferad" -addr $N1 -work "$WORK" -node-id smoke-n1 -stage-dir "$TMP/stage-n1" \
+  -ensemble "seed=$TMP/ens" >"$TMP/n1.log" 2>&1 &
 PIDS+=($!)
 N1_PID=$!
-"$BIN/inferad" -addr $N2 -work "$WORK" -node-id smoke-n2 -ensemble "seed2=$TMP/ens" >"$TMP/n2.log" 2>&1 &
+"$BIN/inferad" -addr $N2 -work "$WORK" -node-id smoke-n2 -stage-dir "$TMP/stage-n2" \
+  -ensemble "seed2=$TMP/ens" >"$TMP/n2.log" 2>&1 &
 PIDS+=($!)
 N2_PID=$!
 wait_ready $N1 20
@@ -69,6 +71,20 @@ ask() { # ensemble seed -> fails the script on a failed/empty answer
     return 1
   fi
 }
+
+ask_node() { # addr ensemble seed -> direct node ask, bypassing the router
+  local out
+  out=$(curl -fsS "http://$1/v1/ensembles/$2/ask" \
+    -d "{\"question\": \"Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?\", \"seed\": $3}")
+  if ! echo "$out" | grep -q '"rows"'; then
+    say "FAIL: direct ask on $1/$2 returned: $out"
+    return 1
+  fi
+}
+
+say "staging node 2's ensemble (populates its disk-tier block store)"
+ask_node $N2 seed2 50
+sleep 0.5 # let the async write-through land before the kill -9 below
 
 say "registering 4 ensembles through the router"
 for i in 0 1 2 3; do
@@ -102,4 +118,16 @@ for i in 0 1 2 3; do ask "smoke-e$i" $((300 + i)); done
 curl -fsS "http://$RT/v1/metrics/prometheus" | grep -q 'infera_fleet_ejections_total' \
   || { say "FAIL: no ejection recorded in router metrics"; exit 1; }
 
-say "PASS: node killed mid-run, zero failed asks, corpse ejected"
+say "restarting node 2 over its old stage dir (disk-warm revival)"
+"$BIN/inferad" -addr $N2 -work "$WORK" -node-id smoke-n2 -stage-dir "$TMP/stage-n2" \
+  -ensemble "seed2=$TMP/ens" >"$TMP/n2-revived.log" 2>&1 &
+PIDS+=($!)
+wait_ready $N2 20
+# A fresh seed forces a real staging pass; the kill -9 flushed nothing, so
+# any disk hit below came from blocks the first incarnation wrote through.
+ask_node $N2 seed2 60
+curl -fsS "http://$N2/v1/metrics/prometheus" \
+  | grep 'infera_stage_tier_hits_total{tier="disk"}' | grep -qv ' 0$' \
+  || { say "FAIL: revived node served zero disk-tier promotions"; exit 1; }
+
+say "PASS: node killed mid-run, zero failed asks, corpse ejected, revival disk-warm"
