@@ -20,6 +20,7 @@ import (
 	"infera/internal/eval"
 	"infera/internal/hacc"
 	"infera/internal/llm"
+	"infera/internal/sandbox"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func main() {
 		verbose     = flag.Bool("v", false, "log each run")
 		workers     = flag.Int("workers", 1, "concurrent runs (parallelized workflow execution)")
 		halos       = flag.Int("halos", 120, "halos per run when generating an ensemble")
+		scriptFuel  = flag.Int64("script-fuel", sandbox.DefaultLimits().MaxFuel, "per-execution script instruction budget (0 = unlimited)")
+		scriptMem   = flag.Int64("script-mem", sandbox.DefaultLimits().MaxMemBytes>>20, "per-execution script memory budget, in MB (0 = unlimited)")
+		scriptTO    = flag.Duration("script-timeout", sandbox.DefaultLimits().MaxWall, "per-execution script wall-clock limit (0 = none)")
 	)
 	flag.Parse()
 
@@ -66,14 +70,20 @@ func main() {
 		return
 	}
 
+	limits := sandbox.DefaultLimits()
+	limits.MaxFuel = *scriptFuel
+	limits.MaxMemBytes = *scriptMem << 20
+	limits.MaxWall = *scriptTO
+
 	cfg := eval.Config{
-		EnsembleDir: dir,
-		Reps:        *reps,
-		Seed:        *seed,
-		TrimHistory: *trim,
-		Feedback:    *feedback,
-		Workers:     *workers,
-		Sim:         llm.SimConfig{BinaryQA: *binaryQA},
+		EnsembleDir:  dir,
+		Reps:         *reps,
+		Seed:         *seed,
+		TrimHistory:  *trim,
+		Feedback:     *feedback,
+		Workers:      *workers,
+		ScriptLimits: limits,
+		Sim:          llm.SimConfig{BinaryQA: *binaryQA},
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

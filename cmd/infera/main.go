@@ -37,6 +37,7 @@ import (
 	"infera/internal/client"
 	"infera/internal/dataframe"
 	"infera/internal/hacc"
+	"infera/internal/sandbox"
 	"infera/internal/service"
 	"infera/internal/stage"
 )
@@ -58,6 +59,9 @@ func main() {
 		stageWatch = flag.Bool("stage-watch", true, "replace the stat-TTL freshness memo with a filesystem watch (exact invalidation, zero hot-path stat syscalls)")
 		stagePref  = flag.Bool("stage-prefetch", true, "prefetch sibling columns and next-step files into the disk tier while a gio file is open (needs -stage-dir)")
 		keepDBs    = flag.Bool("keep-staging-dbs", false, "write per-question staging DBs through to disk and keep them after the answer (default: zero-copy in-memory staging, reclaimed per question)")
+		scriptFuel = flag.Int64("script-fuel", sandbox.DefaultLimits().MaxFuel, "per-execution script instruction budget (0 = unlimited)")
+		scriptMem  = flag.Int64("script-mem", sandbox.DefaultLimits().MaxMemBytes>>20, "per-execution script memory budget, in MB (0 = unlimited)")
+		scriptTO   = flag.Duration("script-timeout", sandbox.DefaultLimits().MaxWall, "per-execution script wall-clock limit (0 = none)")
 	)
 	flag.Parse()
 	if *ensemble == "" {
@@ -77,21 +81,27 @@ func main() {
 		}
 	}
 
+	limits := sandbox.DefaultLimits()
+	limits.MaxFuel = *scriptFuel
+	limits.MaxMemBytes = *scriptMem << 20
+	limits.MaxWall = *scriptTO
+
 	if *serve {
-		runService(*ensemble, *work, *addr, *seed, *server, *keepDBs)
+		runService(*ensemble, *work, *addr, *seed, *server, *keepDBs, limits)
 		return
 	}
-	runREPL(*ensemble, *work, *seed, *auto, *server, *keepDBs)
+	runREPL(*ensemble, *work, *seed, *auto, *server, *keepDBs, limits)
 }
 
 // runREPL serves the registry on loopback and drives it through the typed
 // client — the same code path a remote interactive consumer runs.
-func runREPL(ensemble, work string, seed int64, auto, sandboxServer, keepDBs bool) {
+func runREPL(ensemble, work string, seed int64, auto, sandboxServer, keepDBs bool, limits sandbox.Limits) {
 	reg := service.NewRegistry(service.RegistryConfig{
 		Defaults: service.Config{
 			Seed:           seed,
 			UseServer:      sandboxServer,
 			KeepStagingDBs: keepDBs,
+			ScriptLimits:   limits,
 			Workers:        1, // one human, one session at a time
 			// A terminal review waits on a human; keep the auto-approve
 			// expiry generous (abandoned remote sessions are the short case).
@@ -236,12 +246,13 @@ func printResult(res *service.AskResult) {
 // one "default" shard in a registry, reachable both through the
 // /v1/ensembles API and the legacy flat routes. Further ensembles can be
 // registered at runtime with POST /v1/ensembles.
-func runService(ensemble, work, addr string, seed int64, sandboxServer, keepDBs bool) {
+func runService(ensemble, work, addr string, seed int64, sandboxServer, keepDBs bool, limits sandbox.Limits) {
 	reg := service.NewRegistry(service.RegistryConfig{
 		Defaults: service.Config{
 			Seed:           seed,
 			UseServer:      sandboxServer,
 			KeepStagingDBs: keepDBs,
+			ScriptLimits:   limits,
 		},
 		WorkDir: work,
 		Logf:    log.Printf,

@@ -112,6 +112,7 @@ import (
 	"syscall"
 
 	"infera/internal/llm"
+	"infera/internal/sandbox"
 	"infera/internal/service"
 	"infera/internal/stage"
 )
@@ -183,6 +184,9 @@ func main() {
 		nodeID     = flag.String("node-id", "", "fleet identity reported on /healthz (default: host:pid)")
 		maxAsks    = flag.Int("max-concurrent-asks", 0, "node-wide cap on concurrently executing asks across all shards (0 = uncapped)")
 		simLat     = flag.Duration("sim-latency", 0, "per-model-call latency injected into the simulated LLM (models real API round trips; 0 = pure CPU)")
+		scriptFuel = flag.Int64("script-fuel", sandbox.DefaultLimits().MaxFuel, "per-execution script instruction budget, overridable per shard at registration (0 = unlimited)")
+		scriptMem  = flag.Int64("script-mem", sandbox.DefaultLimits().MaxMemBytes>>20, "per-execution script memory budget, in MB, overridable per shard (0 = unlimited)")
+		scriptTO   = flag.Duration("script-timeout", sandbox.DefaultLimits().MaxWall, "per-execution script wall-clock limit, overridable per shard (0 = none)")
 	)
 	flag.Parse()
 	if *route != "" {
@@ -211,9 +215,15 @@ func main() {
 		}
 	}
 
+	limits := sandbox.DefaultLimits()
+	limits.MaxFuel = *scriptFuel
+	limits.MaxMemBytes = *scriptMem << 20
+	limits.MaxWall = *scriptTO
+
 	cfg := service.RegistryConfig{
 		Defaults: service.Config{
 			Workers:            *workers,
+			ScriptLimits:       limits,
 			QueueDepth:         *queue,
 			CacheSize:          *cacheSz,
 			MaxSessions:        *maxSess,

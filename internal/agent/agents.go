@@ -63,6 +63,7 @@ func Run(rt *Runtime, question string) (*Result, error) {
 		Error:      st.FailReason,
 		DurationNS: res.Duration.Nanoseconds(),
 		PhasesNS:   rt.spans.snapshot(),
+		FuelUsed:   st.FuelUsed,
 	}
 	rt.spans.observe(rt.Metrics, rt.MetricLabels)
 	if err != nil {
@@ -187,18 +188,19 @@ func stepStarted(rt *Runtime, st *State, agentName string) time.Time {
 }
 
 // stepDone marks the current plan step complete, stamping the wall-clock
-// duration since stepStarted onto the finish event.
-func stepDone(rt *Runtime, st *State, agentName, note string, started time.Time) {
+// duration since stepStarted and the sandbox fuel the step consumed onto
+// the finish event.
+func stepDone(rt *Runtime, st *State, agentName, note string, started time.Time, fuel int64) {
 	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx,
-		OK: true, Detail: note, ElapsedNS: time.Since(started).Nanoseconds()})
+		OK: true, Detail: note, ElapsedNS: time.Since(started).Nanoseconds(), FuelUsed: fuel})
 	st.Completed = append(st.Completed, note)
 	st.StepIdx++
 }
 
 // stepFailed aborts the run at the current step.
-func stepFailed(rt *Runtime, st *State, agentName, reason string, started time.Time) {
+func stepFailed(rt *Runtime, st *State, agentName, reason string, started time.Time, fuel int64) {
 	rt.emit(Event{Kind: EventStepFinished, Agent: agentName, Task: currentTask(st), Step: st.StepIdx,
-		OK: false, Detail: reason, ElapsedNS: time.Since(started).Nanoseconds()})
+		OK: false, Detail: reason, ElapsedNS: time.Since(started).Nanoseconds(), FuelUsed: fuel})
 	st.Failed = true
 	st.FailReason = reason
 	st.Failures = append(st.Failures, reason)
@@ -311,7 +313,7 @@ func dataLoaderNode(rt *Runtime, st *State) (string, error) {
 	}
 	rt.logf("loaded: %s", strings.TrimSpace(report.String()))
 	rt.span(PhaseStage, started)
-	stepDone(rt, st, "dataloader", "data loading: "+task, started)
+	stepDone(rt, st, "dataloader", "data loading: "+task, started, 0)
 	return nodeSupervisor, nil
 }
 
@@ -534,7 +536,7 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 		targets = append(targets, target{"galaxies", "work", hacc.FileGalaxies})
 	}
 	if len(targets) == 0 {
-		stepFailed(rt, st, "sql", "sql: no staged tables to filter", started)
+		stepFailed(rt, st, "sql", "sql: no staged tables to filter", started, 0)
 		return nodeSupervisor, nil
 	}
 	for _, tgt := range targets {
@@ -585,11 +587,11 @@ func sqlNode(rt *Runtime, st *State) (string, error) {
 			break
 		}
 		if !ok {
-			stepFailed(rt, st, "sql", fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError), started)
+			stepFailed(rt, st, "sql", fmt.Sprintf("sql step exhausted %d revisions: %s", rt.MaxRevisions, priorError), started, 0)
 			return nodeSupervisor, nil
 		}
 	}
-	stepDone(rt, st, "sql", "sql filtering: "+task, started)
+	stepDone(rt, st, "sql", "sql filtering: "+task, started, 0)
 	return nodeSupervisor, nil
 }
 
@@ -638,6 +640,7 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 		return "", err
 	}
 	priorError := ""
+	var stepFuel int64 // sandbox fuel across all attempts of this step
 	for attempt := 0; attempt <= rt.MaxRevisions; attempt++ {
 		req := llm.ScriptRequest{
 			Task: task, Intent: in, Tables: scriptTables(st),
@@ -663,6 +666,8 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 			}
 		}
 		res := rt.Sandbox.Exec(resp.Code, tables)
+		stepFuel += res.FuelUsed
+		st.FuelUsed += res.FuelUsed
 		if !res.OK {
 			st.RedoCount++
 			priorError = res.Error + humanHint(rt, st, res.Error)
@@ -703,11 +708,11 @@ func runCodeStep(rt *Runtime, st *State, agentName, skill string, stepIndex int)
 			}
 		}
 		rt.span(agentName, started) // PhasePython / PhaseViz
-		stepDone(rt, st, agentName, agentName+": "+task, started)
+		stepDone(rt, st, agentName, agentName+": "+task, started, stepFuel)
 		return nodeSupervisor, nil
 	}
 	rt.span(agentName, started)
-	stepFailed(rt, st, agentName, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError), started)
+	stepFailed(rt, st, agentName, fmt.Sprintf("%s step exhausted %d revisions: %s", agentName, rt.MaxRevisions, priorError), started, stepFuel)
 	return nodeSupervisor, nil
 }
 

@@ -69,6 +69,12 @@ type Event struct {
 	// rather than a span (step_started, queue_position).
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 
+	// FuelUsed is the script instruction budget the step consumed across
+	// all sandbox attempts, stamped on step_finished events of code-running
+	// steps (python, viz) — the per-step CPU accounting unit for future
+	// fair scheduling. Zero for steps that run no sandboxed code.
+	FuelUsed int64 `json:"fuel_used,omitempty"`
+
 	// Answer is set on the terminal EventAnswer.
 	Answer *AnswerEvent `json:"answer,omitempty"`
 }
@@ -87,6 +93,9 @@ type AnswerEvent struct {
 	// query, qa, python, viz, total) in nanoseconds. Phases the run never
 	// entered are absent.
 	PhasesNS map[string]int64 `json:"phases_ns,omitempty"`
+	// FuelUsed is the total script instruction budget the run's sandboxed
+	// executions consumed.
+	FuelUsed int64 `json:"fuel_used,omitempty"`
 }
 
 // DefaultEventCapacity bounds an EventLog when NewEventLog is given no

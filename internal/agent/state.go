@@ -55,6 +55,9 @@ type State struct {
 	Usage      llm.Usage `json:"usage"`
 	PlanRounds int       `json:"plan_rounds"` // human feedback iterations
 	Strategy   int       `json:"strategy"`    // ambiguous-question strategy actually used
+	// FuelUsed is the total script instruction budget consumed by this
+	// run's sandboxed executions, across all steps and QA retries.
+	FuelUsed int64 `json:"fuel_used,omitempty"`
 }
 
 // Feedback is the human-in-the-loop hook. A nil Feedback runs fully

@@ -49,6 +49,13 @@ type Config struct {
 	// UseServer executes sandbox code over a loopback HTTP server instead
 	// of in-process, exercising the full §3.2 isolation boundary.
 	UseServer bool
+	// ScriptLimits budgets every sandboxed script execution (fuel, memory,
+	// wall clock, artifact bytes, stdout lines). The zero value runs
+	// unrestricted; daemons default it to sandbox.DefaultLimits via flags.
+	ScriptLimits sandbox.Limits
+	// ScriptBackend selects the script engine: sandbox.BackendVM (default
+	// when empty) or sandbox.BackendTreeWalk.
+	ScriptBackend string
 	// Stage is the staging cache raw snapshot decodes are shared through;
 	// nil uses the process-wide stage.Shared() cache. Set an isolated cache
 	// in tests or benchmarks that assert on cache counters.
@@ -141,7 +148,7 @@ func New(cfg Config) (*Assistant, error) {
 		workDir:  workDir,
 	}
 	if cfg.UseServer {
-		srv := sandbox.NewServer(&sandbox.Executor{Registry: reg})
+		srv := sandbox.NewServer(a.newExecutor())
 		if err := srv.Start(); err != nil {
 			return nil, fmt.Errorf("core: start sandbox server: %w", err)
 		}
@@ -176,6 +183,18 @@ func nextStepNeighbors(cat *hacc.Catalog) func(path string) []string {
 		}
 	}
 	return func(path string) []string { return next[path] }
+}
+
+// newExecutor builds a budgeted sandbox executor with the assistant's
+// registry, limits, backend choice and metric sink.
+func (a *Assistant) newExecutor() *sandbox.Executor {
+	return &sandbox.Executor{
+		Registry:     a.registry,
+		Limits:       a.cfg.ScriptLimits,
+		Backend:      a.cfg.ScriptBackend,
+		Metrics:      a.cfg.Metrics,
+		MetricLabels: a.cfg.MetricLabels,
+	}
 }
 
 // Close releases the sandbox server, if any.
@@ -320,7 +339,7 @@ func (a *Assistant) AskWith(question string, opts AskOptions) (*Answer, error) {
 	if a.server != nil {
 		runner = sandbox.NewClient(a.server.Addr())
 	} else {
-		runner = &sandbox.Executor{Registry: a.registry}
+		runner = a.newExecutor()
 	}
 
 	model := opts.Model

@@ -9,6 +9,7 @@ import (
 	"infera/internal/agent"
 	"infera/internal/core"
 	"infera/internal/llm"
+	"infera/internal/sandbox"
 )
 
 // RunRecord is the outcome of one evaluated run.
@@ -35,6 +36,9 @@ type Config struct {
 	Sim         llm.SimConfig // base model config; seed varies per run
 	TrimHistory bool
 	Feedback    bool // enable the scripted human-in-the-loop hinter
+	// ScriptLimits budgets every sandboxed script execution in the campaign
+	// (zero value = unrestricted, the historical behavior).
+	ScriptLimits sandbox.Limits
 	// Workers sets the number of runs executed concurrently (the paper's
 	// "parallelized workflow execution" future work); <=1 runs serially.
 	Workers int
@@ -114,10 +118,11 @@ func runOne(cfg Config, q Question, qi, r int) (RunRecord, error) {
 	sim := cfg.Sim
 	sim.Seed = cfg.Seed + int64(qi)*1000 + int64(r)
 	acfg := core.Config{
-		EnsembleDir: cfg.EnsembleDir,
-		WorkDir:     workDir,
-		Model:       llm.NewSim(sim),
-		TrimHistory: cfg.TrimHistory,
+		EnsembleDir:  cfg.EnsembleDir,
+		WorkDir:      workDir,
+		Model:        llm.NewSim(sim),
+		TrimHistory:  cfg.TrimHistory,
+		ScriptLimits: cfg.ScriptLimits,
 	}
 	if cfg.Feedback {
 		acfg.Feedback = hinter{}

@@ -221,7 +221,18 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("gio: %s: short header length: %w", path, err)
 	}
-	hdrJSON := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if st, err := f.Stat(); err == nil {
+		r.fileSize = st.Size()
+	}
+	// The declared header length cannot exceed what the file actually
+	// holds; allocating it unchecked would let a 12-byte forgery claim a
+	// 4 GB header.
+	hdrLen := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+	if r.fileSize > 0 && hdrLen > r.fileSize-int64(len(magic))-int64(len(lenBuf)) {
+		f.Close()
+		return nil, fmt.Errorf("gio: %s: header length %d exceeds file size %d", path, hdrLen, r.fileSize)
+	}
+	hdrJSON := make([]byte, hdrLen)
 	if _, err := io.ReadFull(f, hdrJSON); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("gio: %s: short header: %w", path, err)
@@ -230,11 +241,16 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("gio: %s: header: %w", path, err)
 	}
+	// Column extents from the header are untrusted until checked against
+	// the file: a negative or out-of-range (Offset, Size) would otherwise
+	// panic or over-allocate in ReadColumn/ReadBlock.
 	for i, c := range r.hdr.Columns {
+		if c.Size < 0 || c.Offset < 0 || (r.fileSize > 0 && c.Offset+c.Size > r.fileSize) {
+			f.Close()
+			return nil, fmt.Errorf("gio: %s: column %q extent [%d,+%d) outside file of %d bytes",
+				path, c.Name, c.Offset, c.Size, r.fileSize)
+		}
 		r.byName[c.Name] = i
-	}
-	if st, err := f.Stat(); err == nil {
-		r.fileSize = st.Size()
 	}
 	return r, nil
 }
@@ -362,7 +378,7 @@ func (r *Reader) ReadAll() (*dataframe.Frame, error) {
 func decodeColumn(info ColumnInfo, blk []byte, nrows int) (*dataframe.Column, error) {
 	switch info.Kind {
 	case dataframe.Float:
-		if len(blk) != 8*nrows {
+		if nrows < 0 || len(blk) != 8*nrows {
 			return nil, fmt.Errorf("float block size %d != 8*%d", len(blk), nrows)
 		}
 		vals := make([]float64, nrows)
@@ -371,7 +387,7 @@ func decodeColumn(info ColumnInfo, blk []byte, nrows int) (*dataframe.Column, er
 		}
 		return dataframe.NewFloat(info.Name, vals), nil
 	case dataframe.Int:
-		if len(blk) != 8*nrows {
+		if nrows < 0 || len(blk) != 8*nrows {
 			return nil, fmt.Errorf("int block size %d != 8*%d", len(blk), nrows)
 		}
 		vals := make([]int64, nrows)
@@ -380,7 +396,18 @@ func decodeColumn(info ColumnInfo, blk []byte, nrows int) (*dataframe.Column, er
 		}
 		return dataframe.NewInt(info.Name, vals), nil
 	case dataframe.String:
-		vals := make([]string, 0, nrows)
+		if nrows < 0 {
+			return nil, fmt.Errorf("negative row count %d", nrows)
+		}
+		// Every encoded string row costs at least one byte (its uvarint
+		// length), so a header claiming more rows than the block has bytes
+		// is corrupt; bounding the initial capacity keeps a forged row
+		// count from allocating unbounded memory up front.
+		capHint := nrows
+		if capHint > len(blk) {
+			capHint = len(blk)
+		}
+		vals := make([]string, 0, capHint)
 		rest := blk
 		for len(vals) < nrows {
 			n, w := binary.Uvarint(rest)

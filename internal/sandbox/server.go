@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"infera/internal/dataframe"
-	"infera/internal/script"
 )
 
 // wire types for the HTTP execution contract.
@@ -26,6 +25,7 @@ type execResponse struct {
 	ResultCSV string            `json:"result_csv,omitempty"`
 	Artifacts map[string]string `json:"artifacts,omitempty"` // name -> base64
 	Stdout    []string          `json:"stdout,omitempty"`
+	FuelUsed  int64             `json:"fuel_used,omitempty"`
 }
 
 // Server exposes the executor over HTTP on a loopback port — the process
@@ -94,7 +94,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		tables[name] = f
 	}
 	res := s.exec.Exec(req.Code, tables)
-	resp := execResponse{OK: res.OK, Error: res.Error, Stdout: res.Stdout}
+	resp := execResponse{OK: res.OK, Error: res.Error, Stdout: res.Stdout, FuelUsed: res.FuelUsed}
 	if res.Frame != nil {
 		var buf bytes.Buffer
 		if err := res.Frame.WriteCSV(&buf); err == nil {
@@ -151,7 +151,7 @@ func (c *Client) Exec(code string, tables map[string]*dataframe.Frame) Result {
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return Result{Error: "ValueError: bad server response: " + err.Error()}
 	}
-	out := Result{OK: resp.OK, Error: resp.Error, Stdout: resp.Stdout}
+	out := Result{OK: resp.OK, Error: resp.Error, Stdout: resp.Stdout, FuelUsed: resp.FuelUsed}
 	if resp.ResultCSV != "" {
 		if f, err := dataframe.ReadCSV(bytes.NewReader([]byte(resp.ResultCSV))); err == nil {
 			out.Frame = f
@@ -177,6 +177,3 @@ var (
 	_ Runner = (*Executor)(nil)
 	_ Runner = (*Client)(nil)
 )
-
-// Ensure script types stay reachable for hosts registering tools.
-var _ = script.DefaultRegistry

@@ -228,7 +228,9 @@ func biSaveCSV(env *Env, args []Value) (Value, error) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		return Value{}, err
 	}
-	env.Artifacts[name] = buf.Bytes()
+	if err := env.AddArtifact(name, buf.Bytes()); err != nil {
+		return Value{}, err
+	}
 	return NullValue(), nil
 }
 
@@ -253,7 +255,9 @@ func biPrint(env *Env, args []Value) (Value, error) {
 			parts[i] = a.String()
 		}
 	}
-	env.Stdout = append(env.Stdout, strings.Join(parts, " "))
+	if err := env.AddStdout(strings.Join(parts, " ")); err != nil {
+		return Value{}, err
+	}
 	return NullValue(), nil
 }
 

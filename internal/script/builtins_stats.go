@@ -318,7 +318,9 @@ func renderAndStore(env *Env, spec *viz.PlotSpec, outName string) (Value, error)
 	if err := writeFile(path, svg); err != nil {
 		return Value{}, err
 	}
-	env.Artifacts[outName] = svg
+	if err := env.AddArtifact(outName, svg); err != nil {
+		return Value{}, err
+	}
 	return NullValue(), nil
 }
 

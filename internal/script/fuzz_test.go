@@ -1,0 +1,198 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzBudgets bounds fuzzed executions so a generated loop of huge list
+// literals finishes in microseconds instead of minutes. No wall deadline:
+// wall-clock overruns depend on timing and would make the two backends
+// diverge nondeterministically.
+func fuzzBudgets() Budgets {
+	return Budgets{
+		MaxFuel:          100_000,
+		MaxMemBytes:      1 << 26, // 64 MiB
+		MaxArtifactBytes: 1 << 20, // 1 MiB
+		MaxStdoutLines:   64,
+	}
+}
+
+// fuzzWorkDir seeds a workdir with one small CSV so load_table has
+// something real to read.
+func fuzzWorkDir(tb testing.TB) string {
+	tb.Helper()
+	dir := tb.TempDir()
+	csv := "x,y,name\n1,10.5,a\n2,-3,b\n3,0,c\n4,7.25,d\n"
+	if err := os.WriteFile(filepath.Join(dir, "work.csv"), []byte(csv), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+// runBoth executes src on the tree-walk and the VM against identical
+// fresh environments and returns both envs and errors.
+func runBoth(tb testing.TB, src string) (twEnv, vmEnv *Env, twErr, vmErr error) {
+	tb.Helper()
+	dir := fuzzWorkDir(tb)
+	reg := DefaultRegistry()
+
+	twEnv = NewEnv(reg, dir)
+	twEnv.Budgets = fuzzBudgets()
+	prog, perr := Parse(src)
+	if perr == nil {
+		twErr = prog.Run(twEnv)
+	} else {
+		twErr = perr
+	}
+
+	vmEnv = NewEnv(reg, dir)
+	vmEnv.Budgets = fuzzBudgets()
+	comp, cerr := Compile(src)
+	if cerr == nil {
+		vmErr = comp.Run(vmEnv)
+	} else {
+		vmErr = cerr
+	}
+	return twEnv, vmEnv, twErr, vmErr
+}
+
+// valuesEqual compares two script values structurally (frames by cell).
+func valuesEqual(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindFrame:
+		if (a.Frame == nil) != (b.Frame == nil) {
+			return false
+		}
+		return a.Frame == nil || a.Frame.String() == b.Frame.String()
+	case KindNum:
+		// NaN-safe: compare the rendered form.
+		return a.String() == b.String()
+	case KindStr:
+		return a.Str == b.Str
+	case KindBool:
+		return a.Bool == b.Bool
+	case KindList:
+		if len(a.List) != len(b.List) {
+			return false
+		}
+		for i := range a.List {
+			if !valuesEqual(a.List[i], b.List[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// assertBackendAgreement fails the test if the two executions diverged in
+// any observable way: error text, fuel, variables, result frame,
+// artifacts or stdout.
+func assertBackendAgreement(t *testing.T, src string, twEnv, vmEnv *Env, twErr, vmErr error) {
+	t.Helper()
+	if (twErr == nil) != (vmErr == nil) {
+		t.Fatalf("error divergence on %q:\n  treewalk: %v\n  vm:       %v", src, twErr, vmErr)
+	}
+	if twErr != nil && twErr.Error() != vmErr.Error() {
+		t.Fatalf("error text divergence on %q:\n  treewalk: %v\n  vm:       %v", src, twErr, vmErr)
+	}
+	if twEnv.FuelUsed != vmEnv.FuelUsed {
+		t.Fatalf("fuel divergence on %q: treewalk=%d vm=%d", src, twEnv.FuelUsed, vmEnv.FuelUsed)
+	}
+	if len(twEnv.Vars) != len(vmEnv.Vars) {
+		t.Fatalf("var count divergence on %q: treewalk=%d vm=%d", src, len(twEnv.Vars), len(vmEnv.Vars))
+	}
+	for name, tv := range twEnv.Vars {
+		vv, ok := vmEnv.Vars[name]
+		if !ok || !valuesEqual(tv, vv) {
+			t.Fatalf("var %q divergence on %q:\n  treewalk: %v\n  vm:       %v", name, src, tv, vv)
+		}
+	}
+	if (twEnv.Result == nil) != (vmEnv.Result == nil) {
+		t.Fatalf("result divergence on %q", src)
+	}
+	if twEnv.Result != nil && twEnv.Result.String() != vmEnv.Result.String() {
+		t.Fatalf("result frame divergence on %q:\n%v\nvs\n%v", src, twEnv.Result, vmEnv.Result)
+	}
+	if len(twEnv.Stdout) != len(vmEnv.Stdout) {
+		t.Fatalf("stdout divergence on %q: %v vs %v", src, twEnv.Stdout, vmEnv.Stdout)
+	}
+	for i := range twEnv.Stdout {
+		if twEnv.Stdout[i] != vmEnv.Stdout[i] {
+			t.Fatalf("stdout line %d divergence on %q: %q vs %q", i, src, twEnv.Stdout[i], vmEnv.Stdout[i])
+		}
+	}
+	if len(twEnv.Artifacts) != len(vmEnv.Artifacts) {
+		t.Fatalf("artifact count divergence on %q", src)
+	}
+	for name, td := range twEnv.Artifacts {
+		vd, ok := vmEnv.Artifacts[name]
+		if !ok || string(td) != string(vd) {
+			t.Fatalf("artifact %q divergence on %q", name, src)
+		}
+	}
+}
+
+var fuzzScriptSeeds = []string{
+	`w = load_table("work")` + "\n" + `top = head(sort(w, "x", true), 2)` + "\n" + `result(top)`,
+	`w = load_table("work")` + "\n" + `f = filter_gt(w, "y", 0)` + "\n" + `save_csv(f, "out.csv")` + "\n" + `result(f)`,
+	`print("hello", 1, true, [1, 2, "x"])`,
+	`x = [1, [2, [3, [4]]], "deep"]` + "\n" + `print(x)`,
+	`w = load_table("work")` + "\n" + `s = scatter_plot(w, "x", "y", "t", "p.svg")`,
+	`mean([1, 2, 3, 4])`,
+	`result(head(load_table("work"), 1))`,
+	`x = undefined_variable`,
+	`nosuchfn(1, 2)`,
+	`x = [` + "\n",
+	`x = ((((((1))))))`,
+	`# comment only`,
+	``,
+	`x = -1.5e300` + "\n" + `y = [x, x, x]`,
+	`"bare string"`,
+	`w = load_table("missing_table")`,
+}
+
+// FuzzScriptParse asserts the parser never panics and depth-bounds its
+// recursion on arbitrary input.
+func FuzzScriptParse(f *testing.F) {
+	for _, s := range fuzzScriptSeeds {
+		f.Add(s)
+	}
+	// The known crasher class: unbounded expression nesting.
+	deep := ""
+	for i := 0; i < 500; i++ {
+		deep += "["
+	}
+	f.Add("x = " + deep)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+		// Compilation of anything parseable must not panic either.
+		if err == nil {
+			CompileProgram(prog)
+		}
+	})
+}
+
+// FuzzScriptRun executes arbitrary programs on both backends under a
+// budget and asserts no panic plus full observable agreement.
+func FuzzScriptRun(f *testing.F) {
+	for _, s := range fuzzScriptSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // budgeted elsewhere; keep per-input cost bounded
+		}
+		twEnv, vmEnv, twErr, vmErr := runBoth(t, src)
+		assertBackendAgreement(t, src, twEnv, vmEnv, twErr, vmErr)
+	})
+}

@@ -116,6 +116,18 @@ type Env struct {
 	Artifacts map[string][]byte // files produced by plot/scene/save functions
 	Result    *dataframe.Frame  // set by result()
 	Stdout    []string          // lines from print()
+
+	// Budgets bounds the execution; the zero value runs unrestricted.
+	Budgets Budgets
+	// FuelUsed is the instruction budget consumed so far — identical for a
+	// given script across both backends, so it doubles as the per-ask CPU
+	// accounting unit stamped onto step_finished events.
+	FuelUsed int64
+	// MemUsed is the cumulative tracked allocation (see Budgets.MaxMemBytes).
+	MemUsed int64
+
+	sinceWallCheck int   // charges since the last deadline check
+	artifactBytes  int64 // total artifact payload recorded via AddArtifact
 }
 
 // NewEnv returns an environment with the given registry and working dir.
@@ -277,10 +289,16 @@ func isIdentByte(c byte) bool {
 }
 
 type lineParser struct {
-	toks []tok
-	pos  int
-	line int
+	toks  []tok
+	pos   int
+	line  int
+	depth int
 }
+
+// maxExprDepth bounds expression nesting in both the parser and the
+// evaluator, so a generated one-liner of a megabyte of "[[[[..." fails
+// with a SyntaxError instead of overflowing the daemon's stack.
+const maxExprDepth = 100
 
 func (p *lineParser) errf(format string, args ...any) error {
 	return &RuntimeError{p.line, fmt.Sprintf(format, args...)}
@@ -289,6 +307,11 @@ func (p *lineParser) errf(format string, args ...any) error {
 func (p *lineParser) expr() (node, error) {
 	if p.pos >= len(p.toks) {
 		return nil, p.errf("SyntaxError: unexpected end of line")
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("SyntaxError: expression too deeply nested")
 	}
 	t := p.toks[p.pos]
 	switch t.kind {
@@ -366,10 +389,13 @@ func (p *lineParser) expr() (node, error) {
 	return nil, p.errf("SyntaxError: unexpected token %q", t.text)
 }
 
-// Run executes the program in env. Execution stops at the first error.
+// Run executes the program in env with the tree-walk interpreter — the
+// reference backend the bytecode VM (Compile) is differentially tested
+// against. Execution stops at the first error. Both backends charge
+// env.Budgets identically.
 func (p *Program) Run(env *Env) error {
 	for _, st := range p.stmts {
-		v, err := evalNode(st.ex, env, st.line)
+		v, err := evalNode(st.ex, env, st.line, 0)
 		if err != nil {
 			return err
 		}
@@ -380,7 +406,13 @@ func (p *Program) Run(env *Env) error {
 	return nil
 }
 
-func evalNode(n node, env *Env, line int) (Value, error) {
+func evalNode(n node, env *Env, line, depth int) (Value, error) {
+	if depth > maxExprDepth {
+		return Value{}, &RuntimeError{line, "SyntaxError: expression too deeply nested"}
+	}
+	if err := env.charge(line, 1); err != nil {
+		return Value{}, err
+	}
 	switch v := n.(type) {
 	case numNode:
 		return NumValue(float64(v)), nil
@@ -397,13 +429,17 @@ func evalNode(n node, env *Env, line int) (Value, error) {
 	case listNode:
 		items := make([]Value, len(v))
 		for i, it := range v {
-			iv, err := evalNode(it, env, line)
+			iv, err := evalNode(it, env, line, depth+1)
 			if err != nil {
 				return Value{}, err
 			}
 			items[i] = iv
 		}
-		return ListValue(items), nil
+		lv := ListValue(items)
+		if err := env.alloc(line, lv); err != nil {
+			return Value{}, err
+		}
+		return lv, nil
 	case callNode:
 		fn, ok := env.Funcs[v.fn]
 		if !ok {
@@ -411,18 +447,21 @@ func evalNode(n node, env *Env, line int) (Value, error) {
 		}
 		args := make([]Value, len(v.args))
 		for i, a := range v.args {
-			av, err := evalNode(a, env, line)
+			av, err := evalNode(a, env, line, depth+1)
 			if err != nil {
 				return Value{}, err
 			}
 			args[i] = av
 		}
+		if err := env.charge(line, callCost(args)); err != nil {
+			return Value{}, err
+		}
 		out, err := fn(env, args)
 		if err != nil {
-			if _, ok := err.(*RuntimeError); ok {
-				return Value{}, err
-			}
-			return Value{}, &RuntimeError{line, err.Error()}
+			return Value{}, wrapCallError(err, line)
+		}
+		if err := env.alloc(line, out); err != nil {
+			return Value{}, err
 		}
 		return out, nil
 	}

@@ -1,0 +1,209 @@
+package script
+
+// The bytecode VM backend. Compile lowers a parsed Program into a flat
+// instruction stream that a small stack machine dispatches; the tree-walk
+// interpreter (Program.Run) is kept as the reference implementation and
+// the two are differentially tested against each other. The VM charges
+// env.Budgets at exactly the same points as the tree-walk — one fuel unit
+// per value-producing operation in evaluation order, callCost before each
+// builtin, alloc on every list and call result — so values, errors,
+// artifacts, stdout and FuelUsed are backend-identical for any script.
+
+import "fmt"
+
+type opcode uint8
+
+const (
+	// opConst pushes consts[a]. Charges 1 fuel.
+	opConst opcode = iota
+	// opLoad pushes Vars[names[a]] or fails with a NameError. Charges 1.
+	opLoad
+	// opStore pops the top of stack into Vars[names[a]]. Free: the
+	// tree-walk charges per expression node only, and assignment is part
+	// of the statement, not the expression.
+	opStore
+	// opPop discards the result of a bare-expression statement. Free.
+	opPop
+	// opBeginList charges the list node's 1 fuel unit before its elements
+	// evaluate, mirroring the tree-walk's pre-order charge.
+	opBeginList
+	// opMakeList pops a elements into a list, tracks its allocation,
+	// pushes it. The fuel was charged by the matching opBeginList.
+	opMakeList
+	// opBeginCall charges the call node's 1 fuel unit and resolves
+	// names[a] in the registry before any argument evaluates — the same
+	// order as the tree-walk, so `missing_fn(missing_var)` reports the
+	// function, not the variable.
+	opBeginCall
+	// opCall pops a arguments, charges callCost, invokes names[b], tracks
+	// the result allocation, pushes it.
+	opCall
+)
+
+type instr struct {
+	op   opcode
+	a, b int
+	line int
+}
+
+// Backend is a runnable form of a script: the tree-walk Program or the
+// bytecode Compiled. sandbox.Executor selects between them.
+type Backend interface {
+	Run(env *Env) error
+	Source() string
+}
+
+// Compiled is a Program lowered to bytecode, ready for the VM dispatch
+// loop. It is immutable after Compile and safe for concurrent Run calls
+// against distinct Envs.
+type Compiled struct {
+	src    string
+	consts []Value
+	names  []string
+	code   []instr
+}
+
+// Source returns the original script text.
+func (c *Compiled) Source() string { return c.src }
+
+// Compile parses source text and lowers it to bytecode.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog), nil
+}
+
+// CompileProgram lowers an already-parsed Program to bytecode.
+func CompileProgram(p *Program) *Compiled {
+	cc := &compiler{
+		out:     &Compiled{src: p.src},
+		nameIdx: map[string]int{},
+	}
+	for _, st := range p.stmts {
+		cc.emitExpr(st.ex, st.line)
+		if st.assign != "" {
+			cc.emit(instr{op: opStore, a: cc.name(st.assign), line: st.line})
+		} else {
+			cc.emit(instr{op: opPop, line: st.line})
+		}
+	}
+	return cc.out
+}
+
+type compiler struct {
+	out     *Compiled
+	nameIdx map[string]int
+}
+
+func (cc *compiler) emit(in instr) { cc.out.code = append(cc.out.code, in) }
+
+func (cc *compiler) name(s string) int {
+	if i, ok := cc.nameIdx[s]; ok {
+		return i
+	}
+	i := len(cc.out.names)
+	cc.out.names = append(cc.out.names, s)
+	cc.nameIdx[s] = i
+	return i
+}
+
+func (cc *compiler) constant(v Value) int {
+	cc.out.consts = append(cc.out.consts, v)
+	return len(cc.out.consts) - 1
+}
+
+func (cc *compiler) emitExpr(n node, line int) {
+	switch v := n.(type) {
+	case numNode:
+		cc.emit(instr{op: opConst, a: cc.constant(NumValue(float64(v))), line: line})
+	case strNode:
+		cc.emit(instr{op: opConst, a: cc.constant(StrValue(string(v))), line: line})
+	case boolNode:
+		cc.emit(instr{op: opConst, a: cc.constant(BoolValue(bool(v))), line: line})
+	case identNode:
+		cc.emit(instr{op: opLoad, a: cc.name(string(v)), line: line})
+	case listNode:
+		cc.emit(instr{op: opBeginList, line: line})
+		for _, it := range v {
+			cc.emitExpr(it, line)
+		}
+		cc.emit(instr{op: opMakeList, a: len(v), line: line})
+	case callNode:
+		fn := cc.name(v.fn)
+		cc.emit(instr{op: opBeginCall, a: fn, line: line})
+		for _, a := range v.args {
+			cc.emitExpr(a, line)
+		}
+		cc.emit(instr{op: opCall, a: len(v.args), b: fn, line: line})
+	}
+}
+
+// Run executes the bytecode against env. Budget charging is positionally
+// identical to the tree-walk interpreter; see the package comment above.
+func (c *Compiled) Run(env *Env) error {
+	stack := make([]Value, 0, 16)
+	for pc := 0; pc < len(c.code); pc++ {
+		in := c.code[pc]
+		switch in.op {
+		case opConst:
+			if err := env.charge(in.line, 1); err != nil {
+				return err
+			}
+			stack = append(stack, c.consts[in.a])
+		case opLoad:
+			if err := env.charge(in.line, 1); err != nil {
+				return err
+			}
+			v, ok := env.Vars[c.names[in.a]]
+			if !ok {
+				return &RuntimeError{in.line, fmt.Sprintf("NameError: name %q is not defined", c.names[in.a])}
+			}
+			stack = append(stack, v)
+		case opStore:
+			env.Vars[c.names[in.a]] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case opPop:
+			stack = stack[:len(stack)-1]
+		case opBeginList:
+			if err := env.charge(in.line, 1); err != nil {
+				return err
+			}
+		case opMakeList:
+			n := in.a
+			items := make([]Value, n)
+			copy(items, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			lv := ListValue(items)
+			if err := env.alloc(in.line, lv); err != nil {
+				return err
+			}
+			stack = append(stack, lv)
+		case opBeginCall:
+			if err := env.charge(in.line, 1); err != nil {
+				return err
+			}
+			if _, ok := env.Funcs[c.names[in.a]]; !ok {
+				return &RuntimeError{in.line, fmt.Sprintf("NameError: function %q is not defined", c.names[in.a])}
+			}
+		case opCall:
+			n := in.a
+			args := make([]Value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			if err := env.charge(in.line, callCost(args)); err != nil {
+				return err
+			}
+			out, err := env.Funcs[c.names[in.b]](env, args)
+			if err != nil {
+				return wrapCallError(err, in.line)
+			}
+			if err := env.alloc(in.line, out); err != nil {
+				return err
+			}
+			stack = append(stack, out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// differentialCorpus builds the backend-agreement corpus: ~200+ statements
+// across success paths (every dataframe verb, stats, plotting, printing,
+// list literals), error paths (NameError, TypeError, KeyError, parse
+// errors) and budget-sensitive shapes. Each entry is one script; both
+// backends must produce identical values, errors, artifacts, stdout and
+// fuel for every one of them.
+func differentialCorpus() []string {
+	var corpus []string
+	add := func(lines ...string) { corpus = append(corpus, strings.Join(lines, "\n")) }
+
+	// Literals, lists, variables, printing.
+	add(`x = 1`, `y = 2.5`, `z = "s"`, `b = true`, `l = [x, y, z, b]`, `print(l)`)
+	add(`n = -1.5e10`, `print(n, -0.25, 1e-3)`)
+	add(`l = [[1, 2], [3, [4, 5]], []]`, `print(l)`)
+	add(`x = ((((((42))))))`, `print(x)`)
+	add(`print("a", "b", "c")`, `print(1)`, `print(true, false)`)
+	add(`x = 1`, `x = 2`, `x = [x, x]`, `print(x)`)
+
+	// Loading and basic verbs.
+	add(`w = load_table("work")`, `print(nrows(w))`, `result(w)`)
+	add(`w = load_table("work")`, `s = select(w, ["x", "y"])`, `result(s)`)
+	add(`w = load_table("work")`, `r = rename(w, "y", "value")`, `result(r)`)
+	add(`w = load_table("work")`, `t = head(sort(w, "y", true), 2)`, `result(t)`)
+	add(`w = load_table("work")`, `t = head(sort(w, "y", false), 3)`, `result(t)`)
+	add(`w = load_table("work")`, `d = distinct(w, "name")`, `result(d)`)
+	add(`w = load_table("work")`, `c = concat(w, w)`, `print(nrows(c))`, `result(c)`)
+	add(`w = load_table("work")`, `j = join(w, w, "x")`, `result(j)`)
+
+	// Filters: every comparator over both numeric columns at several
+	// thresholds — the bulk of the generated corpus.
+	for _, fn := range []string{"filter_gt", "filter_ge", "filter_lt", "filter_le"} {
+		for _, col := range []string{"x", "y"} {
+			for _, th := range []string{"0", "2", "-3", "10.5"} {
+				add(`w = load_table("work")`,
+					fmt.Sprintf(`f = %s(w, %q, %s)`, fn, col, th),
+					`print(nrows(f))`, `result(f)`)
+			}
+		}
+	}
+	add(`w = load_table("work")`, `f = filter_eq(w, "name", "a")`, `result(f)`)
+	add(`w = load_table("work")`, `f = filter_ne(w, "name", "a")`, `result(f)`)
+	add(`w = load_table("work")`, `f = filter_in(w, "x", [1, 3])`, `result(f)`)
+
+	// Derivations.
+	for _, fn := range []string{"derive_ratio", "derive_product", "derive_sum", "derive_sub"} {
+		add(`w = load_table("work")`,
+			fmt.Sprintf(`d = %s(w, "x", "y", "out")`, fn),
+			`result(d)`)
+	}
+	add(`w = load_table("work")`, `d = derive_abs(w, "y", "ay")`, `result(d)`)
+	add(`w = load_table("work")`, `d = derive_scale(w, "x", 2.5, "sx")`, `result(d)`)
+	add(`w = load_table("work")`, `d = derive_const(w, "k", 7)`, `result(d)`)
+	add(`w = load_table("work")`, `d = derive_zscore(w, "y", "zy")`, `result(d)`)
+
+	// Stats and aggregation.
+	add(`w = load_table("work")`, `g = groupby(w, "name", "y", "mean")`, `result(g)`)
+	add(`w = load_table("work")`, `g = groupby(w, "name", "x", "sum")`, `result(g)`)
+	add(`w = load_table("work")`, `fit = linfit(w, "x", "y")`, `result(fit)`)
+	add(`w = load_table("work")`, `c = corr(w, "x", "y")`, `print(c)`)
+	add(`w = load_table("work")`, `h = histogram(w, "y", 3)`, `result(h)`)
+
+	// Artifacts: CSV and plots on both backends, byte-identical.
+	add(`w = load_table("work")`, `save_csv(w, "all.csv")`, `result(w)`)
+	add(`w = load_table("work")`, `save_csv(head(w, 2), "two.csv")`, `save_csv(w, "all.csv")`)
+	add(`w = load_table("work")`, `scatter_plot(w, "x", "y", "t", "sc.svg")`)
+	add(`w = load_table("work")`, `line_plot(w, "x", "y", "t", "ln.svg")`)
+	add(`w = load_table("work")`, `hist_plot(w, "y", 4, "h.svg")`)
+
+	// Error paths: identical Python-like texts required on both backends.
+	add(`x = missing_var`)
+	add(`nosuchfn(1)`)
+	add(`w = load_table("missing")`)
+	add(`w = load_table("work")`, `f = filter_gt(w, "nope", 1)`)
+	add(`w = load_table("work")`, `s = select(w, ["x", "nope"])`)
+	add(`w = load_table("work")`, `s = sort(w, 1, true)`)
+	add(`w = load_table("work")`, `h = head(w)`)
+	add(`print(missing)`)
+	add(`x = 1`, `y = x(1)`)
+	add(`result(1)`)
+	add(`save_csv(1, "x.csv")`)
+	add(`w = load_table("work")`, `print(nrows(w))`, `boom = filter_gt(w, "x")`)
+
+	// Mixed multi-step pipelines.
+	add(`w = load_table("work")`,
+		`pos = filter_gt(w, "y", 0)`,
+		`s = sort(pos, "y", true)`,
+		`t = head(s, 2)`,
+		`save_csv(t, "top.csv")`,
+		`print("rows:", nrows(t))`,
+		`result(t)`)
+	add(`w = load_table("work")`,
+		`d = derive_ratio(w, "y", "x", "r")`,
+		`f = filter_ge(d, "r", 0)`,
+		`g = groupby(f, "name", "r", "mean")`,
+		`result(g)`)
+	add(`w = load_table("work")`,
+		`a = select(w, ["x", "y"])`,
+		`b = rename(a, "y", "v")`,
+		`c = concat(b, b)`,
+		`d = distinct(c, "x")`,
+		`print(nrows(a), nrows(b), nrows(c), nrows(d))`,
+		`result(d)`)
+
+	return corpus
+}
+
+// TestVMDifferentialCorpus proves the bytecode VM and the tree-walk
+// interpreter are observationally identical over the whole corpus.
+func TestVMDifferentialCorpus(t *testing.T) {
+	corpus := differentialCorpus()
+	statements := 0
+	for _, src := range corpus {
+		statements += len(strings.Split(src, "\n"))
+	}
+	if statements < 200 {
+		t.Fatalf("differential corpus has %d statements, want >= 200", statements)
+	}
+	for i, src := range corpus {
+		twEnv, vmEnv, twErr, vmErr := runBoth(t, src)
+		t.Logf("corpus[%d]: fuel=%d err=%v", i, twEnv.FuelUsed, twErr)
+		assertBackendAgreement(t, src, twEnv, vmEnv, twErr, vmErr)
+	}
+}
+
+// TestVMBudgetParity proves budget exhaustion trips at the same point
+// with the same error on both backends.
+func TestVMBudgetParity(t *testing.T) {
+	src := `x = [1, 2, 3, 4, 5, 6, 7, 8]` + "\n" +
+		`y = [x, x, x, x]` + "\n" +
+		`z = [y, y, y, y]` + "\n" +
+		`print(z)`
+
+	for _, budgets := range []Budgets{
+		{MaxFuel: 10},
+		{MaxFuel: 20},
+		{MaxMemBytes: 64},
+		{MaxMemBytes: 700},
+	} {
+		reg := DefaultRegistry()
+		tw := NewEnv(reg, t.TempDir())
+		tw.Budgets = budgets
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twErr := prog.Run(tw)
+
+		vm := NewEnv(reg, t.TempDir())
+		vm.Budgets = budgets
+		comp, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmErr := comp.Run(vm)
+
+		if twErr == nil || vmErr == nil {
+			t.Fatalf("budgets %+v: expected exhaustion, got treewalk=%v vm=%v", budgets, twErr, vmErr)
+		}
+		if twErr.Error() != vmErr.Error() {
+			t.Fatalf("budgets %+v: error divergence:\n  treewalk: %v\n  vm:       %v", budgets, twErr, vmErr)
+		}
+		if tw.FuelUsed != vm.FuelUsed {
+			t.Fatalf("budgets %+v: fuel divergence %d vs %d", budgets, tw.FuelUsed, vm.FuelUsed)
+		}
+	}
+}
+
+// TestParserDepthBound locks in the recursion guard: a pathological
+// one-liner fails with a SyntaxError instead of a stack overflow.
+func TestParserDepthBound(t *testing.T) {
+	deep := "x = " + strings.Repeat("[", 100_000)
+	_, err := Parse(deep)
+	if err == nil || !strings.Contains(err.Error(), "too deeply nested") {
+		t.Fatalf("err = %v, want nesting SyntaxError", err)
+	}
+	// A legal nesting below the bound still parses on both paths.
+	ok := "x = " + strings.Repeat("[", 50) + "1" + strings.Repeat("]", 50)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("depth-50 literal rejected: %v", err)
+	}
+	if _, err := Compile(ok); err != nil {
+		t.Fatalf("depth-50 literal fails to compile: %v", err)
+	}
+}

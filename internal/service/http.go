@@ -192,6 +192,11 @@ type RegisterRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// CacheCapacity overrides the shard's answer-cache capacity (0 inherits).
 	CacheCapacity int `json:"cache_capacity,omitempty"`
+	// ScriptFuel / ScriptMemBytes / ScriptTimeoutMS override the shard's
+	// sandbox execution budgets (0 inherits the daemon-wide -script-* flags).
+	ScriptFuel      int64 `json:"script_fuel,omitempty"`
+	ScriptMemBytes  int64 `json:"script_mem_bytes,omitempty"`
+	ScriptTimeoutMS int64 `json:"script_timeout_ms,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -204,7 +209,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
 		return
 	}
-	info, err := s.reg.RegisterWith(req.Name, req.Dir, ShardOptions{Workers: req.Workers, CacheSize: req.CacheCapacity})
+	info, err := s.reg.RegisterWith(req.Name, req.Dir, ShardOptions{
+		Workers: req.Workers, CacheSize: req.CacheCapacity,
+		ScriptFuel: req.ScriptFuel, ScriptMemBytes: req.ScriptMemBytes, ScriptTimeoutMS: req.ScriptTimeoutMS,
+	})
 	switch {
 	case errors.Is(err, ErrEnsembleExists):
 		writeError(w, http.StatusConflict, err)

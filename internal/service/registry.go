@@ -97,6 +97,13 @@ type ShardOptions struct {
 	// The wire name matches RegisterRequest's cache_capacity so the echoed
 	// overrides object round-trips back into a register payload.
 	CacheSize int `json:"cache_capacity,omitempty"`
+	// ScriptFuel / ScriptMemBytes / ScriptTimeoutMS override the shard's
+	// sandbox execution budgets (0 keeps the registry default) — a shard
+	// serving a huge ensemble can buy its scripts more fuel without
+	// loosening the whole fleet.
+	ScriptFuel      int64 `json:"script_fuel,omitempty"`
+	ScriptMemBytes  int64 `json:"script_mem_bytes,omitempty"`
+	ScriptTimeoutMS int64 `json:"script_timeout_ms,omitempty"`
 }
 
 // shard is one registered ensemble. Fields below the comment are guarded by
@@ -309,7 +316,8 @@ func (r *Registry) RegisterWith(name, dir string, opts ShardOptions) (ShardInfo,
 	if !ValidEnsembleName(name) {
 		return ShardInfo{}, ErrBadEnsembleName
 	}
-	if opts.Workers < 0 || opts.CacheSize < 0 {
+	if opts.Workers < 0 || opts.CacheSize < 0 ||
+		opts.ScriptFuel < 0 || opts.ScriptMemBytes < 0 || opts.ScriptTimeoutMS < 0 {
 		return ShardInfo{}, fmt.Errorf("service: negative shard overrides: %+v", opts)
 	}
 	abs, err := filepath.Abs(dir)
@@ -554,6 +562,15 @@ func (r *Registry) openShard(sh *shard) (*Service, error) {
 	}
 	if sh.opts.CacheSize > 0 {
 		cfg.CacheSize = sh.opts.CacheSize
+	}
+	if sh.opts.ScriptFuel > 0 {
+		cfg.ScriptLimits.MaxFuel = sh.opts.ScriptFuel
+	}
+	if sh.opts.ScriptMemBytes > 0 {
+		cfg.ScriptLimits.MaxMemBytes = sh.opts.ScriptMemBytes
+	}
+	if sh.opts.ScriptTimeoutMS > 0 {
+		cfg.ScriptLimits.MaxWall = time.Duration(sh.opts.ScriptTimeoutMS) * time.Millisecond
 	}
 	svc, err := New(cfg)
 	if err != nil {

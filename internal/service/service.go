@@ -24,6 +24,7 @@ import (
 	"infera/internal/hacc"
 	"infera/internal/llm"
 	"infera/internal/provenance"
+	"infera/internal/sandbox"
 	"infera/internal/stage"
 	"infera/internal/telemetry"
 )
@@ -66,6 +67,14 @@ type Config struct {
 	MaxRevisions      int
 	// UseServer executes sandbox code over loopback HTTP per assistant.
 	UseServer bool
+	// ScriptLimits budgets every sandboxed script execution (fuel, memory,
+	// wall clock, artifact bytes, stdout lines); forwarded to every pooled
+	// Assistant. The zero value runs unrestricted; the daemons default it
+	// to sandbox.DefaultLimits via the -script-* flags.
+	ScriptLimits sandbox.Limits
+	// ScriptBackend selects the script engine (sandbox.BackendVM when
+	// empty, or sandbox.BackendTreeWalk as the reference escape hatch).
+	ScriptBackend string
 	// Stage is the staging cache the assistant pool shares, so concurrent
 	// sessions staging overlapping (sim, step) slices decode each source
 	// file once. Nil uses the process-wide stage.Shared() cache; set an
@@ -353,6 +362,8 @@ func New(cfg Config) (*Service, error) {
 			SkipDocumentation: cfg.SkipDocumentation,
 			MaxRevisions:      cfg.MaxRevisions,
 			UseServer:         cfg.UseServer,
+			ScriptLimits:      cfg.ScriptLimits,
+			ScriptBackend:     cfg.ScriptBackend,
 			Stage:             cfg.Stage,
 			// Kept staging DBs must survive on disk, so only then does the
 			// session DB pay eager persistence; the default reclaim path

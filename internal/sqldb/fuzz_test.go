@@ -1,0 +1,90 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+
+	"infera/internal/dataframe"
+)
+
+var fuzzSQLSeeds = []string{
+	"SELECT * FROM parts",
+	"SELECT tag, val FROM parts WHERE cnt > 100 ORDER BY val DESC LIMIT 5",
+	"SELECT grp, COUNT(*) AS n, AVG(val) FROM parts GROUP BY grp ORDER BY n",
+	"SELECT tag FROM parts WHERE name LIKE '%a%' AND NOT (grp = 2)",
+	"SELECT tag FROM parts WHERE cnt BETWEEN 10 AND 400",
+	"SELECT tag FROM parts WHERE grp IN (0, 1, 2)",
+	"SELECT SQRT(ABS(val)) FROM parts WHERE val != 0",
+	"SELECT tag % 0 FROM parts",
+	"SELECT nope FROM parts",
+	"SELECT",
+	"SELECT * FROM",
+	"SELECT (((((tag))))) FROM parts",
+	"SELECT - - - - tag FROM parts",
+	"SELECT tag FROM parts WHERE NOT NOT NOT grp = 1",
+	"select lower, keywords FROM parts",
+	"SELECT 'unterminated FROM parts",
+	"SELECT tag FROM parts LIMIT -1",
+}
+
+// FuzzSQLParse asserts the lexer/parser never panic and recursion stays
+// bounded on arbitrary statement text.
+func FuzzSQLParse(f *testing.F) {
+	for _, s := range fuzzSQLSeeds {
+		f.Add(s)
+	}
+	// The known crasher class: unbounded expression recursion.
+	f.Add("SELECT " + strings.Repeat("(", 2000) + "1")
+	f.Add("SELECT tag FROM parts WHERE " + strings.Repeat("NOT ", 2000) + "1 = 1")
+	f.Add("SELECT " + strings.Repeat("- ", 2000) + "1 FROM parts")
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := parseSelect(sql)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}
+
+// FuzzSQLQuery runs arbitrary statements through both engines over the
+// differential table and asserts no panic plus result agreement whenever
+// both succeed.
+func FuzzSQLQuery(f *testing.F) {
+	for _, s := range fuzzSQLSeeds {
+		f.Add(s)
+	}
+	dbTW := diffDB(f)
+	dbVec := diffDB(f)
+	f.Fuzz(func(t *testing.T, sql string) {
+		if len(sql) > 2048 {
+			return
+		}
+		tw, twErr := dbTW.QueryBackend(sql, BackendTreeWalk)
+		auto, autoErr := dbVec.QueryBackend(sql, BackendAuto)
+		if (twErr == nil) != (autoErr == nil) {
+			t.Fatalf("%q: error divergence: treewalk=%v auto=%v", sql, twErr, autoErr)
+		}
+		if twErr == nil && !dataframe.Equal(tw, auto) {
+			t.Fatalf("%q: frames diverge:\ntreewalk:\n%v\nauto:\n%v", sql, tw, auto)
+		}
+	})
+}
+
+// TestSQLParserDepthBound locks in the recursion guard directly.
+func TestSQLParserDepthBound(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT " + strings.Repeat("(", 100_000) + "1",
+		"SELECT tag FROM parts WHERE " + strings.Repeat("NOT ", 100_000) + "1 = 1",
+		"SELECT " + strings.Repeat("- ", 100_000) + "1 FROM parts",
+	} {
+		_, err := parseSelect(sql)
+		if err == nil || !strings.Contains(err.Error(), "too deeply nested") {
+			t.Fatalf("statement %.40q...: err = %v, want nesting SyntaxError", sql, err)
+		}
+	}
+	// Reasonable nesting still parses (each paren level costs two depth
+	// frames: orExpr + notExpr).
+	ok := "SELECT " + strings.Repeat("(", 40) + "tag" + strings.Repeat(")", 40) + " FROM parts"
+	if _, err := parseSelect(ok); err != nil {
+		t.Fatalf("depth-40 expression rejected: %v", err)
+	}
+}

@@ -7,9 +7,27 @@ import (
 )
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds expression recursion (nested parens, NOT/unary
+// chains, function arguments) so pathological generated SQL fails with a
+// SyntaxError instead of overflowing the goroutine stack.
+const maxParseDepth = 100
+
+// enter guards one level of expression recursion; callers must pair a
+// successful enter with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("expression too deeply nested")
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // parseSelect parses one SELECT statement; trailing tokens are an error.
 func parseSelect(sql string) (*selectStmt, error) {
@@ -183,6 +201,10 @@ func (p *parser) selectItem() (selectItem, error) {
 //	unary  := - unary | primary
 //	primary:= number | string | ident | func(args) | agg | ( or )
 func (p *parser) orExpr() (expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.andExpr()
 	if err != nil {
 		return nil, err
@@ -213,6 +235,10 @@ func (p *parser) andExpr() (expr, error) {
 }
 
 func (p *parser) notExpr() (expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.acceptKeyword("NOT") {
 		sub, err := p.notExpr()
 		if err != nil {
@@ -348,6 +374,10 @@ func (p *parser) mulExpr() (expr, error) {
 
 func (p *parser) unaryExpr() (expr, error) {
 	if p.acceptSymbol("-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		sub, err := p.unaryExpr()
 		if err != nil {
 			return nil, err

@@ -336,7 +336,9 @@ func Register(reg script.Registry, cat *hacc.Catalog, sc *stage.Cache) {
 			return script.Value{}, err
 		}
 		data := viz.WriteVTK("InferA halo scene", pts)
-		env.Artifacts[names[5]] = data
+		if err := env.AddArtifact(names[5], data); err != nil {
+			return script.Value{}, err
+		}
 		return script.NullValue(), nil
 	}
 }
